@@ -1,0 +1,86 @@
+// Command distcheck analyzes the distributivity of every inflationary
+// fixed point in a query with both of the paper's approximations: the
+// syntactic ds$x(·) rules of Figure 5 and the algebraic ∪ push-up of
+// Section 4. It reports, per site, which algorithm each engine would pick.
+//
+// Usage:
+//
+//	distcheck -q 'with $x seeded by . recurse $x/child::a'
+//	distcheck -f query.xq [-hint] [-explain]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ifpxq "repro"
+)
+
+func main() {
+	var (
+		queryText = flag.String("q", "", "query text")
+		queryFile = flag.String("f", "", "query file")
+		hint      = flag.Bool("hint", false, "apply the §3.2 distributivity-hint rewriting and re-check")
+		explain   = flag.Bool("explain", false, "also print the relational plan")
+	)
+	flag.Parse()
+	src := *queryText
+	if *queryFile != "" {
+		data, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+	if src == "" {
+		fmt.Fprintln(os.Stderr, "distcheck: provide a query with -q or -f")
+		os.Exit(2)
+	}
+	q, err := ifpxq.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if *hint {
+		q = q.Hint()
+		fmt.Println("after hint rewriting:")
+		fmt.Println(" ", q.Source())
+	}
+	reports := q.Distributivity()
+	if len(reports) == 0 {
+		fmt.Println("no inflationary fixed points in this query")
+		return
+	}
+	for i, rep := range reports {
+		fmt.Printf("fixpoint %d (recursion variable $%s):\n", i+1, rep.Var)
+		fmt.Printf("  syntactic ds$x(·):  %v", rep.Syntactic)
+		if rep.Syntactic {
+			fmt.Printf("  (rule %s)\n", rep.SyntacticRule)
+		} else {
+			fmt.Printf("  (%s)\n", rep.SyntacticRule)
+		}
+		if rep.AlgebraicError != "" {
+			fmt.Printf("  algebraic push-up:  n/a (%s)\n", rep.AlgebraicError)
+		} else {
+			fmt.Printf("  algebraic push-up:  strict=%v extended=%v\n", rep.Algebraic, rep.AlgebraicExt)
+		}
+		pick := "Naive"
+		if rep.Syntactic || rep.Algebraic || rep.AlgebraicExt {
+			pick = "Delta"
+		}
+		fmt.Printf("  auto mode runs:     %s\n", pick)
+	}
+	if *explain {
+		plan, err := q.ExplainPlan()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("relational plan:")
+		fmt.Print(plan)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "distcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command ifpbench regenerates the paper's Table 2: Naïve vs. Delta
+// evaluation times, total nodes fed back, and recursion depths for the
+// four query families on both engines (direct interpreter = the Saxon
+// column, relational pipeline = the MonetDB/XQuery column).
+//
+// Usage:
+//
+//	ifpbench                 # all Table 2 rows
+//	ifpbench -exp T2.5       # one row
+//	ifpbench -list           # list experiments
+//	ifpbench -markdown       # EXPERIMENTS.md-style output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "", "run a single experiment (id or name)")
+		list     = flag.Bool("list", false, "list experiments")
+		markdown = flag.Bool("markdown", false, "emit a markdown table")
+	)
+	flag.Parse()
+
+	exps := bench.Experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-6s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+	if *expID != "" {
+		e, ok := bench.ExperimentByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ifpbench: unknown experiment %q\n", *expID)
+			os.Exit(2)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	runner := &bench.Runner{}
+	var rows []*bench.Row
+	for _, e := range exps {
+		fmt.Fprintf(os.Stderr, "running %s %s…\n", e.ID, e.Name)
+		start := time.Now()
+		row, err := runner.Run(e)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ifpbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "  done in %v (document %d KiB)\n",
+			time.Since(start).Round(time.Millisecond), row.DocBytes/1024)
+		rows = append(rows, row)
+	}
+	if *markdown {
+		writeMarkdown(rows)
+		return
+	}
+	bench.WriteTable(os.Stdout, rows)
+}
+
+func writeMarkdown(rows []*bench.Row) {
+	fmt.Println("| Query | Rel Naive | Rel Delta | Interp Naive | Interp Delta | Fed back (Naive) | Fed back (Delta) | Depth |")
+	fmt.Println("|---|---:|---:|---:|---:|---:|---:|---:|")
+	for _, row := range rows {
+		get := func(engine string, alg core.Algorithm) bench.Measurement {
+			for _, m := range row.Measurements {
+				if m.Engine == engine && m.Algorithm == alg {
+					return m
+				}
+			}
+			return bench.Measurement{}
+		}
+		rn, rd := get(bench.EngineRelational, core.Naive), get(bench.EngineRelational, core.Delta)
+		in, id := get(bench.EngineInterp, core.Naive), get(bench.EngineInterp, core.Delta)
+		depth := rn.Stats.Depth
+		if in.Stats.Depth > depth {
+			depth = in.Stats.Depth
+		}
+		fmt.Printf("| %s | %v | %v | %v | %v | %d | %d | %d |\n",
+			row.Exp.Name,
+			rn.Elapsed.Round(time.Millisecond), rd.Elapsed.Round(time.Millisecond),
+			in.Elapsed.Round(time.Millisecond), id.Elapsed.Round(time.Millisecond),
+			rn.Stats.NodesFedBack+in.Stats.NodesFedBack,
+			rd.Stats.NodesFedBack+id.Stats.NodesFedBack,
+			depth)
+	}
+}

@@ -1,0 +1,52 @@
+// Command xmlgen generates the synthetic workloads of the paper's
+// evaluation: XMark-style auction data, curriculum and hospital instances,
+// and play markup (DESIGN.md §5 documents the substitutions).
+//
+// Usage:
+//
+//	xmlgen -kind auction -scale 0.01 > auction.xml
+//	xmlgen -kind curriculum -n 800 > curriculum.xml
+//	xmlgen -kind hospital -n 50000 > hospital.xml
+//	xmlgen -kind play > play.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/xmlgen"
+)
+
+func main() {
+	var (
+		kind  = flag.String("kind", "auction", "auction | curriculum | hospital | play")
+		scale = flag.Float64("scale", 0.01, "XMark-style scale factor (auction)")
+		n     = flag.Int("n", 800, "size: courses (curriculum) or patient records (hospital)")
+		seed  = flag.Int64("seed", 42, "generator seed")
+	)
+	flag.Parse()
+	var out string
+	switch *kind {
+	case "auction":
+		cfg := xmlgen.FromScale(*scale)
+		cfg.Seed = *seed
+		out = xmlgen.Auction(cfg)
+	case "curriculum":
+		cfg := xmlgen.CurriculumSized(*n)
+		cfg.Seed = *seed
+		out = xmlgen.Curriculum(cfg)
+	case "hospital":
+		cfg := xmlgen.HospitalSized(*n)
+		cfg.Seed = *seed
+		out = xmlgen.Hospital(cfg)
+	case "play":
+		cfg := xmlgen.PlaySized()
+		cfg.Seed = *seed
+		out = xmlgen.Play(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "xmlgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,424 @@
+// Package ifpxq is the public API of this repository: an XQuery engine
+// pair with the paper's inflationary fixed point operator
+// `with $x seeded by e_seed recurse e_rec`, its Naïve and Delta evaluation
+// algorithms, and both distributivity checks (syntactic ds$x(·), Figure 5;
+// algebraic ∪ push-up, Section 4) that decide when Delta is safe.
+//
+// Quickstart:
+//
+//	docs := ifpxq.DocsFromStrings(map[string]string{"curriculum.xml": xml})
+//	q, _ := ifpxq.Parse(`with $x seeded by doc("curriculum.xml")//course[@code="c1"]
+//	                     recurse $x/id(./prerequisites/pre_code)`)
+//	res, _ := q.Eval(ifpxq.Options{Docs: docs})
+//	fmt.Println(res.String())
+package ifpxq
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/regularxpath"
+	"repro/internal/xdm"
+	"repro/internal/xmldoc"
+	"repro/internal/xq/ast"
+	"repro/internal/xq/dist"
+	"repro/internal/xq/interp"
+	"repro/internal/xq/parser"
+)
+
+// Engine selects the evaluation back-end.
+type Engine uint8
+
+// Engines. EngineInterpreter evaluates the tree-at-a-time way (the paper's
+// Saxon experiments); EngineRelational compiles to the Table 1 algebra and
+// executes µ/µ∆ set-at-a-time (the MonetDB/XQuery experiments).
+const (
+	EngineInterpreter Engine = iota
+	EngineRelational
+)
+
+// Mode selects the fixpoint algorithm.
+type Mode uint8
+
+// Fixpoint modes. ModeAuto lets the engine's distributivity check decide —
+// the processor-in-control behaviour the paper advocates.
+const (
+	ModeAuto Mode = iota
+	ModeNaive
+	ModeDelta
+)
+
+// DocResolver resolves fn:doc URIs.
+type DocResolver = func(uri string) (*xdm.Document, error)
+
+// Options configure evaluation.
+type Options struct {
+	Engine        Engine
+	Mode          Mode
+	MaxIterations int
+	// StrictAlgebraicCheck uses Table 1's exact push rules in the
+	// relational engine's auto decision (default false = extended rules).
+	StrictAlgebraicCheck bool
+	Docs                 DocResolver
+	// ContextItem sets the initial context item (interpreter only).
+	ContextItem *xdm.Item
+}
+
+// Query is a parsed query, reusable across evaluations.
+type Query struct {
+	src    string
+	module *ast.Module
+}
+
+// Parse parses XQuery source (prolog + body).
+func Parse(src string) (*Query, error) {
+	m, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{src: src, module: m}, nil
+}
+
+// MustParse parses or panics.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ParseRegularXPath translates a Regular XPath expression [25] (steps, /,
+// |, filters, + and * closures) into a query evaluated from the document
+// roots supplied at evaluation time via the context item.
+func ParseRegularXPath(src string) (*Query, error) {
+	p, err := regularxpath.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{src: src, module: &ast.Module{Body: p.Expr()}}, nil
+}
+
+// Module exposes the parsed AST (analysis tooling).
+func (q *Query) Module() *ast.Module { return q.module }
+
+// Source returns the original query text.
+func (q *Query) Source() string { return q.src }
+
+// FixpointReport describes one `with … seeded by … recurse` site.
+type FixpointReport struct {
+	Var string
+	// Syntactic is the Figure 5 ds$x(·) verdict with the rule or reason.
+	Syntactic     bool
+	SyntacticRule string
+	// Algebraic is the ∪ push-up verdict over the compiled body plan
+	// (strict Table 1 rules) and its extended variant.
+	Algebraic    bool
+	AlgebraicExt bool
+	// AlgebraicError reports why the body did not compile relationally.
+	AlgebraicError string
+}
+
+// Distributivity analyzes every fixpoint site in the query with both the
+// syntactic and the algebraic check.
+func (q *Query) Distributivity() []FixpointReport {
+	var reports []FixpointReport
+	resolver := dist.ModuleResolver(q.module)
+	var sites []*ast.Fixpoint
+	ast.Walk(q.module.Body, func(e ast.Expr) bool {
+		if fp, ok := e.(*ast.Fixpoint); ok {
+			sites = append(sites, fp)
+		}
+		return true
+	})
+	for _, f := range q.module.Funcs {
+		ast.Walk(f.Body, func(e ast.Expr) bool {
+			if fp, ok := e.(*ast.Fixpoint); ok {
+				sites = append(sites, fp)
+			}
+			return true
+		})
+	}
+	plan, planErr := algebra.CompileModule(q.module)
+	for i, fp := range sites {
+		rep := FixpointReport{Var: fp.Var}
+		syn := dist.Check(fp.Body, fp.Var, resolver)
+		rep.Syntactic = syn.Safe
+		rep.SyntacticRule = syn.Rule
+		if planErr != nil {
+			rep.AlgebraicError = planErr.Error()
+		} else if i < len(plan.Mus) {
+			rep.Algebraic = plan.Mus[i].Distributive
+			rep.AlgebraicExt = plan.Mus[i].DistributiveExt
+		}
+		reports = append(reports, rep)
+	}
+	return reports
+}
+
+// ExplainPlan renders the relational plan of the query.
+func (q *Query) ExplainPlan() (string, error) {
+	plan, err := algebra.CompileModule(q.module)
+	if err != nil {
+		return "", err
+	}
+	return algebra.Explain(plan.Root), nil
+}
+
+// FixpointStats instruments one fixpoint site's execution.
+type FixpointStats struct {
+	Algorithm    core.Algorithm
+	Distributive bool
+	Executions   int
+	Stats        core.Stats
+}
+
+// Result is an evaluation outcome.
+type Result struct {
+	Items     xdm.Sequence
+	Fixpoints []FixpointStats
+}
+
+// String serializes the result sequence as XML/text.
+func (r *Result) String() string { return xmldoc.SerializeSequence(r.Items) }
+
+// Strings returns the string value of each item.
+func (r *Result) Strings() []string {
+	out := make([]string, len(r.Items))
+	for i, it := range r.Items {
+		out[i] = it.StringValue()
+	}
+	return out
+}
+
+// Count returns the result cardinality.
+func (r *Result) Count() int { return len(r.Items) }
+
+// Eval evaluates the query under the given options.
+func (q *Query) Eval(opts Options) (*Result, error) {
+	switch opts.Engine {
+	case EngineRelational:
+		mode := algebra.ModeAuto
+		switch opts.Mode {
+		case ModeNaive:
+			mode = algebra.ModeNaive
+		case ModeDelta:
+			mode = algebra.ModeDelta
+		}
+		en, err := algebra.NewEngine(q.module, algebra.Options{
+			Mode: mode, MaxIterations: opts.MaxIterations,
+			Strict: opts.StrictAlgebraicCheck, Docs: opts.Docs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		distributive := false
+		for _, site := range en.Plan().Mus {
+			distributive = distributive || site.Distributive || site.DistributiveExt
+		}
+		seq, runs, err := en.Eval()
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Items: seq}
+		for _, run := range runs {
+			alg := core.Naive
+			if run.Delta {
+				alg = core.Delta
+			}
+			res.Fixpoints = append(res.Fixpoints, FixpointStats{
+				Algorithm: alg, Distributive: distributive,
+				Executions: run.Executions, Stats: run.Stats,
+			})
+		}
+		return res, nil
+	default:
+		mode := interp.ModeAuto
+		switch opts.Mode {
+		case ModeNaive:
+			mode = interp.ModeNaive
+		case ModeDelta:
+			mode = interp.ModeDelta
+		}
+		en := interp.New(q.module, interp.Options{
+			Mode: mode, MaxIterations: opts.MaxIterations,
+			Docs: opts.Docs, ContextItem: opts.ContextItem,
+		})
+		out, err := en.Eval()
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Items: out.Value}
+		for _, run := range out.IFPRuns {
+			res.Fixpoints = append(res.Fixpoints, FixpointStats{
+				Algorithm: run.Algorithm, Distributive: run.Distributive,
+				Executions: run.Executions, Stats: run.Stats,
+			})
+		}
+		return res, nil
+	}
+}
+
+// EvalString parses and evaluates in one step.
+func EvalString(src string, opts Options) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return q.Eval(opts)
+}
+
+// ParseDocument parses an XML document for use with DocsFromDocuments.
+func ParseDocument(xml, uri string) (*xdm.Document, error) {
+	return xmldoc.ParseString(xml, uri)
+}
+
+// DocsFromStrings builds a resolver over in-memory XML texts keyed by URI.
+// Documents are parsed once and cached (stable node identity).
+func DocsFromStrings(byURI map[string]string) DocResolver {
+	cache := map[string]*xdm.Document{}
+	return func(uri string) (*xdm.Document, error) {
+		if d, ok := cache[uri]; ok {
+			return d, nil
+		}
+		src, ok := byURI[uri]
+		if !ok {
+			return nil, xdm.Errorf(xdm.ErrDoc, "unknown document %q", uri)
+		}
+		d, err := xmldoc.ParseString(src, uri)
+		if err != nil {
+			return nil, err
+		}
+		cache[uri] = d
+		return d, nil
+	}
+}
+
+// DocsFromDocuments builds a resolver over pre-parsed documents.
+func DocsFromDocuments(byURI map[string]*xdm.Document) DocResolver {
+	return func(uri string) (*xdm.Document, error) {
+		if d, ok := byURI[uri]; ok {
+			return d, nil
+		}
+		return nil, xdm.Errorf(xdm.ErrDoc, "unknown document %q", uri)
+	}
+}
+
+// DocsFromDir resolves URIs against files under a directory.
+func DocsFromDir(dir string) DocResolver {
+	cache := map[string]*xdm.Document{}
+	return func(uri string) (*xdm.Document, error) {
+		if d, ok := cache[uri]; ok {
+			return d, nil
+		}
+		clean := filepath.Clean(uri)
+		if strings.HasPrefix(clean, "..") || filepath.IsAbs(clean) {
+			return nil, xdm.Errorf(xdm.ErrDoc, "document URI %q escapes %q", uri, dir)
+		}
+		f, err := os.Open(filepath.Join(dir, clean))
+		if err != nil {
+			return nil, xdm.Errorf(xdm.ErrDoc, "doc(%q): %v", uri, err)
+		}
+		defer f.Close()
+		d, err := xmldoc.Parse(f, uri)
+		if err != nil {
+			return nil, err
+		}
+		cache[uri] = d
+		return d, nil
+	}
+}
+
+// Hint applies the §3.2 distributivity-hint rewriting to every fixpoint
+// body in the query: each body e becomes `for $y in $x return e[$y/$x]`,
+// which rule FOR2 certifies. The caller asserts the bodies are in fact
+// distributive — the rewrite changes the meaning of non-distributive ones.
+func (q *Query) Hint() *Query {
+	rewrite := func(e ast.Expr) ast.Expr {
+		out := rewriteFixpoints(e)
+		return out
+	}
+	m := &ast.Module{Vars: q.module.Vars}
+	for _, f := range q.module.Funcs {
+		nf := *f
+		nf.Body = rewrite(f.Body)
+		m.Funcs = append(m.Funcs, &nf)
+	}
+	m.Body = rewrite(q.module.Body)
+	return &Query{src: ast.FormatModule(m), module: m}
+}
+
+func rewriteFixpoints(e ast.Expr) ast.Expr {
+	if e == nil {
+		return nil
+	}
+	if fp, ok := e.(*ast.Fixpoint); ok {
+		return &ast.Fixpoint{
+			Var:  fp.Var,
+			Seed: rewriteFixpoints(fp.Seed),
+			Body: dist.Hint(rewriteFixpoints(fp.Body), fp.Var),
+		}
+	}
+	// Generic structural rewrite via Substitute of a sentinel: simplest is
+	// a manual walk over Children; reuse ast.Copy + in-place patch.
+	cp := ast.Copy(e)
+	patchChildren(cp)
+	return cp
+}
+
+// patchChildren rewrites Fixpoint descendants of a freshly copied tree in
+// place.
+func patchChildren(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Seq:
+		for i := range x.Items {
+			x.Items[i] = rewriteFixpoints(x.Items[i])
+		}
+	case *ast.For:
+		x.In = rewriteFixpoints(x.In)
+		x.Body = rewriteFixpoints(x.Body)
+	case *ast.Let:
+		x.Value = rewriteFixpoints(x.Value)
+		x.Body = rewriteFixpoints(x.Body)
+	case *ast.Quantified:
+		x.In = rewriteFixpoints(x.In)
+		x.Cond = rewriteFixpoints(x.Cond)
+	case *ast.If:
+		x.Cond = rewriteFixpoints(x.Cond)
+		x.Then = rewriteFixpoints(x.Then)
+		x.Else = rewriteFixpoints(x.Else)
+	case *ast.Binary:
+		x.L = rewriteFixpoints(x.L)
+		x.R = rewriteFixpoints(x.R)
+	case *ast.Unary:
+		x.E = rewriteFixpoints(x.E)
+	case *ast.Slash:
+		x.L = rewriteFixpoints(x.L)
+		x.R = rewriteFixpoints(x.R)
+	case *ast.Filter:
+		x.E = rewriteFixpoints(x.E)
+		for i := range x.Preds {
+			x.Preds[i] = rewriteFixpoints(x.Preds[i])
+		}
+	case *ast.AxisStep:
+		for i := range x.Preds {
+			x.Preds[i] = rewriteFixpoints(x.Preds[i])
+		}
+	case *ast.FuncCall:
+		for i := range x.Args {
+			x.Args[i] = rewriteFixpoints(x.Args[i])
+		}
+	case *ast.TypeSwitch:
+		x.Operand = rewriteFixpoints(x.Operand)
+		for _, c := range x.Cases {
+			c.Body = rewriteFixpoints(c.Body)
+		}
+		x.Default = rewriteFixpoints(x.Default)
+	}
+}
+
+// Version identifies the library.
+const Version = "1.0.0"

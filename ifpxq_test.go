@@ -1,0 +1,189 @@
+package ifpxq
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/xdm"
+)
+
+func nodeItem(d *xdm.Document) xdm.Item { return xdm.NewNode(d.Root()) }
+
+const curriculumXML = `<!DOCTYPE curriculum [
+<!ATTLIST course code ID #REQUIRED>
+]>
+<curriculum>
+<course code="c1"><prerequisites><pre_code>c2</pre_code><pre_code>c3</pre_code></prerequisites></course>
+<course code="c2"><prerequisites/></course>
+<course code="c3"><prerequisites><pre_code>c4</pre_code></prerequisites></course>
+<course code="c4"><prerequisites><pre_code>c2</pre_code></prerequisites></course>
+</curriculum>`
+
+const q1 = `(with $x seeded by doc("curriculum.xml")/curriculum/course[@code = "c1"]
+recurse $x/id(./prerequisites/pre_code))/@code/string()`
+
+func docs() DocResolver {
+	return DocsFromStrings(map[string]string{"curriculum.xml": curriculumXML})
+}
+
+func TestPublicAPIBothEngines(t *testing.T) {
+	q, err := Parse(q1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []Engine{EngineInterpreter, EngineRelational} {
+		for _, mode := range []Mode{ModeAuto, ModeNaive, ModeDelta} {
+			res, err := q.Eval(Options{Engine: engine, Mode: mode, Docs: docs()})
+			if err != nil {
+				t.Fatalf("engine %d mode %d: %v", engine, mode, err)
+			}
+			if got := res.String(); got != "c2 c3 c4" {
+				t.Errorf("engine %d mode %d: %q", engine, mode, got)
+			}
+			if res.Count() != 3 {
+				t.Errorf("count = %d", res.Count())
+			}
+			if len(res.Fixpoints) != 1 {
+				t.Fatalf("fixpoint stats missing")
+			}
+		}
+	}
+}
+
+func TestAutoModePicksDeltaEverywhere(t *testing.T) {
+	q := MustParse(q1)
+	for _, engine := range []Engine{EngineInterpreter, EngineRelational} {
+		res, err := q.Eval(Options{Engine: engine, Docs: docs()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := res.Fixpoints[0]
+		if fp.Algorithm.String() != "Delta" || !fp.Distributive {
+			t.Errorf("engine %d: auto picked %v (distributive=%v)", engine, fp.Algorithm, fp.Distributive)
+		}
+	}
+}
+
+func TestDistributivityReport(t *testing.T) {
+	q := MustParse(q1)
+	reps := q.Distributivity()
+	if len(reps) != 1 {
+		t.Fatalf("reports = %d", len(reps))
+	}
+	if !reps[0].Syntactic || !reps[0].Algebraic || !reps[0].AlgebraicExt {
+		t.Errorf("Q1 should pass every check: %+v", reps[0])
+	}
+	// A non-distributive body fails both.
+	q2 := MustParse(`with $x seeded by doc("curriculum.xml")/curriculum/course
+recurse if (count($x) > 2) then $x/id(prerequisites/pre_code) else ()`)
+	rep := q2.Distributivity()[0]
+	if rep.Syntactic || rep.Algebraic {
+		t.Errorf("count-guarded body wrongly certified: %+v", rep)
+	}
+}
+
+func TestExplainPlan(t *testing.T) {
+	q := MustParse(q1)
+	plan, err := q.ExplainPlan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, needed := range []string{"mu", "recbase", "id[item]"} {
+		if !strings.Contains(plan, needed) {
+			t.Errorf("plan misses %q:\n%s", needed, plan)
+		}
+	}
+}
+
+func TestRegularXPathEntryPoint(t *testing.T) {
+	q, err := ParseRegularXPath(`(curriculum/course)+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ParseDocument(curriculumXML, "curriculum.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := nodeItem(d)
+	res, err := q.Eval(Options{ContextItem: &item})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count() != 4 {
+		t.Errorf("course closure = %d, want 4", res.Count())
+	}
+}
+
+func TestHintAPI(t *testing.T) {
+	q := MustParse(`with $x seeded by doc("curriculum.xml")/curriculum/course[@code = "c1"]
+recurse if (count($x) >= 1) then $x/id(./prerequisites/pre_code) else ()`)
+	if q.Distributivity()[0].Syntactic {
+		t.Fatal("pre-hint body should not be certified")
+	}
+	h := q.Hint()
+	if !h.Distributivity()[0].Syntactic {
+		t.Errorf("hinted body not certified; source: %s", h.Source())
+	}
+	r1, err := q.Eval(Options{Docs: docs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h.Eval(Options{Docs: docs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.String() == "" || r1.Count() != r2.Count() {
+		t.Errorf("hint changed the result: %q vs %q", r1.String(), r2.String())
+	}
+	if r2.Fixpoints[0].Algorithm.String() != "Delta" {
+		t.Errorf("hinted query still runs %v", r2.Fixpoints[0].Algorithm)
+	}
+}
+
+func TestDocsFromDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "c.xml"), []byte(curriculumXML), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvalString(`count(doc("c.xml")/curriculum/course)`,
+		Options{Docs: DocsFromDir(dir)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != "4" {
+		t.Errorf("count = %s", res.String())
+	}
+	// path escape is rejected
+	if _, err := EvalString(`doc("../../etc/passwd")`, Options{Docs: DocsFromDir(dir)}); err == nil {
+		t.Errorf("directory escape not rejected")
+	}
+}
+
+func TestStrictVsExtendedOption(t *testing.T) {
+	// A body routing the recursion variable through the left side of
+	// except: rejected strictly (Table 1), admitted by the extended rules.
+	src := `with $x seeded by doc("curriculum.xml")/curriculum/course[@code = "c1"]
+recurse $x/id(./prerequisites/pre_code) except doc("curriculum.xml")/curriculum/course[@code = "c2"]`
+	q := MustParse(src)
+	rep := q.Distributivity()[0]
+	if rep.Algebraic {
+		t.Errorf("strict check must reject except: %+v", rep)
+	}
+	if !rep.AlgebraicExt {
+		t.Errorf("extended check should admit left-of-except: %+v", rep)
+	}
+	// Both modes still compute the same (x \ R is genuinely distributive).
+	rs, err := q.Eval(Options{Engine: EngineRelational, Mode: ModeNaive, Docs: docs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := q.Eval(Options{Engine: EngineRelational, Mode: ModeDelta, Docs: docs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Count() != rd.Count() {
+		t.Errorf("naive %d vs delta %d on a distributive except-body", rs.Count(), rd.Count())
+	}
+}

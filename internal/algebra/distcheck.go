@@ -1,0 +1,107 @@
+package algebra
+
+// This file implements the algebraic distributivity assessment of
+// Section 4.1: starting at the recursion-base leaf of a fixpoint body,
+// push the union operator ∪ upward through the plan DAG toward the root
+// (Figure 7(a)); if every operator on every recursion path admits the
+// push (Table 1's `Push?` column, Figure 8), the body is distributive and
+// µ may be traded for µ∆.
+//
+// Two refinements, both grounded in the paper:
+//   - Template/Bookkeeping operators are transparent (Figure 7(b)'s "big
+//     step" across established templates; §4.1's removal of duplicate
+//     elimination and order maintenance before the check).
+//   - Extended mode additionally pushes ∪ through the *left* input of the
+//     difference operator (x \ R is distributive in x for fixed R — the
+//     stratified-Datalog remark in §6). Strict mode follows Table 1
+//     exactly and rejects any difference on a recursion path.
+
+// CheckDistributive reports whether the body plan of a µ operator is
+// distributive in its recursion base.
+func CheckDistributive(mu *Node, strict bool) bool {
+	if mu.Op != OpMu {
+		return false
+	}
+	c := &pushChecker{strict: strict, target: mu.RecBase, memo: map[*Node]verdict{}}
+	return c.push(mu.Kids[1])
+}
+
+type verdict uint8
+
+const (
+	vUnknown verdict = iota
+	vInProgress
+	vClean // no recursion base below: nothing to push
+	vOK    // recursion base below, push succeeds
+	vFail
+)
+
+type pushChecker struct {
+	strict bool
+	target *Node
+	memo   map[*Node]verdict
+}
+
+// push returns true when ∪ can be pushed from every occurrence of the
+// recursion base below n up through n.
+func (c *pushChecker) push(n *Node) bool {
+	return c.classify(n) != vFail
+}
+
+func (c *pushChecker) classify(n *Node) verdict {
+	if v, ok := c.memo[n]; ok && v != vInProgress {
+		return v
+	}
+	c.memo[n] = vInProgress
+	v := c.classifyOp(n)
+	c.memo[n] = v
+	return v
+}
+
+func (c *pushChecker) classifyOp(n *Node) verdict {
+	if n == c.target {
+		return vOK
+	}
+	// Which children carry the recursion base?
+	kidV := make([]verdict, len(n.Kids))
+	carry := false
+	for i, k := range n.Kids {
+		kidV[i] = c.classify(k)
+		if kidV[i] == vFail {
+			return vFail
+		}
+		if kidV[i] == vOK {
+			carry = true
+		}
+	}
+	if !carry {
+		return vClean
+	}
+	// A recursion path crosses n: does the operator admit the push?
+	if n.Template || n.Bookkeeping {
+		return vOK // big step across an established template / stripped op
+	}
+	switch n.Op {
+	case OpProject, OpAttach, OpSelect, OpNumOp, OpRowTag, OpStep, OpIDLookup:
+		return vOK // unary ⊙ operators (Figure 8(a))
+	case OpJoin, OpCross, OpSemiJoin, OpUnion:
+		return vOK // binary ∪-pushable operators (Figure 8(b))
+	case OpMu:
+		return vOK // nested fixpoints are themselves ∪-pushable (Table 1)
+	case OpDiff, OpAntiJoin:
+		// Difference: Table 1 says no; extended mode allows the left
+		// input (x \ R distributive in x).
+		if !c.strict && kidV[0] == vOK && (len(kidV) < 2 || kidV[1] != vOK) {
+			return vOK
+		}
+		return vFail
+	case OpDistinct:
+		// Table 1 marks δ non-pushable; the compiler marks the δs that
+		// merely realize ddo as Bookkeeping (handled above). A δ that
+		// survives here is semantic and blocks the push.
+		return vFail
+	case OpGroupCount, OpRowNum, OpCtor:
+		return vFail // aggregates, row numbering, node constructors
+	}
+	return vFail
+}

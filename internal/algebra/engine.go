@@ -1,0 +1,76 @@
+package algebra
+
+import (
+	"repro/internal/xdm"
+	"repro/internal/xq/ast"
+)
+
+// FixpointMode selects how compiled µ sites evaluate.
+type FixpointMode uint8
+
+// Fixpoint modes.
+const (
+	// ModeAuto trades µ for µ∆ exactly when the algebraic distributivity
+	// check certifies the body (the MonetDB/XQuery behaviour of §5).
+	ModeAuto FixpointMode = iota
+	// ModeNaive forces µ everywhere.
+	ModeNaive
+	// ModeDelta forces µ∆ everywhere (unsafe for non-distributive bodies).
+	ModeDelta
+)
+
+// Options configure an Engine.
+type Options struct {
+	Mode          FixpointMode
+	MaxIterations int
+	// Strict selects the Table 1-exact push rules for the auto decision;
+	// when false the extended rules (left input of `\`) apply.
+	Strict bool
+	Docs   func(uri string) (*xdm.Document, error)
+}
+
+// Engine evaluates a module through the relational pipeline: loop-lifting
+// compilation, algebraic distributivity check, plan execution with µ/µ∆ —
+// the repository's MonetDB/XQuery analog.
+type Engine struct {
+	plan *Plan
+	opts Options
+}
+
+// NewEngine compiles the module and fixes each µ site's algorithm per the
+// requested mode.
+func NewEngine(m *ast.Module, opts Options) (*Engine, error) {
+	plan, err := CompileModule(m)
+	if err != nil {
+		return nil, err
+	}
+	for _, site := range plan.Mus {
+		switch opts.Mode {
+		case ModeNaive:
+			site.Mu.Delta = false
+		case ModeDelta:
+			site.Mu.Delta = true
+		default:
+			if opts.Strict {
+				site.Mu.Delta = site.Distributive
+			} else {
+				site.Mu.Delta = site.DistributiveExt
+			}
+		}
+	}
+	return &Engine{plan: plan, opts: opts}, nil
+}
+
+// Plan exposes the compiled plan (explain output, tests).
+func (e *Engine) Plan() *Plan { return e.plan }
+
+// Eval executes the plan and returns the result sequence plus fixpoint
+// instrumentation.
+func (e *Engine) Eval() (xdm.Sequence, []MuRun, error) {
+	ctx := &ExecContext{Docs: e.opts.Docs, MaxIterations: e.opts.MaxIterations}
+	t, err := Eval(e.plan.Root, ctx)
+	if err != nil {
+		return nil, ctx.MuRuns(), err
+	}
+	return ResultSequence(t), ctx.MuRuns(), nil
+}

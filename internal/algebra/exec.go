@@ -1,0 +1,836 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/xdm"
+	"repro/internal/xq/ast"
+)
+
+// Table is a materialized relation. Rows are positionally aligned with
+// Cols; the executor treats tables as immutable once produced.
+type Table struct {
+	Cols []string
+	Rows [][]xdm.Item
+
+	idx map[string]int
+}
+
+// NewTable builds a table.
+func NewTable(cols []string, rows [][]xdm.Item) *Table {
+	return &Table{Cols: cols, Rows: rows}
+}
+
+// Col returns the index of a column, panicking on unknown names (schema
+// mismatches are compiler bugs, not user errors).
+func (t *Table) Col(name string) int {
+	if t.idx == nil {
+		t.idx = make(map[string]int, len(t.Cols))
+		for i, c := range t.Cols {
+			t.idx[c] = i
+		}
+	}
+	i, ok := t.idx[name]
+	if !ok {
+		panic(fmt.Sprintf("algebra: unknown column %q in %v", name, t.Cols))
+	}
+	return i
+}
+
+// MuRun instruments one µ/µ∆ operator site.
+type MuRun struct {
+	Delta      bool
+	Executions int
+	Stats      core.Stats
+}
+
+// ExecContext carries everything one plan execution needs.
+type ExecContext struct {
+	// Docs resolves fn:doc URIs.
+	Docs func(uri string) (*xdm.Document, error)
+	// MaxIterations bounds fixpoint rounds (0 = core.DefaultMaxIterations).
+	MaxIterations int
+
+	memo      map[*Node]*Table
+	binding   map[*Node]*Table // OpRecBase → current feed
+	muAgg     map[*Node]*MuRun
+	docs      map[string]*xdm.Document
+	stepCache map[stepCacheKey][]xdm.NodeRef
+}
+
+// stepCacheKey caches axis-step results per (node, axis, test): documents
+// are immutable, so repeated step joins from the same node (every fixpoint
+// round re-steps from the same contexts) become lookups.
+type stepCacheKey struct {
+	doc  *xdm.Document
+	pre  int32
+	axis ast.Axis
+	kind ast.TestKind
+	name string
+}
+
+// MuRuns returns the fixpoint instrumentation collected so far.
+func (ctx *ExecContext) MuRuns() []MuRun {
+	out := make([]MuRun, 0, len(ctx.muAgg))
+	for _, r := range ctx.muAgg {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Stats.NodesFedBack > out[j].Stats.NodesFedBack })
+	return out
+}
+
+func (ctx *ExecContext) init() {
+	if ctx.memo == nil {
+		ctx.memo = map[*Node]*Table{}
+		ctx.binding = map[*Node]*Table{}
+		ctx.muAgg = map[*Node]*MuRun{}
+		ctx.docs = map[string]*xdm.Document{}
+		ctx.stepCache = map[stepCacheKey][]xdm.NodeRef{}
+	}
+}
+
+// Eval executes a plan DAG, memoizing shared sub-plans.
+func Eval(root *Node, ctx *ExecContext) (*Table, error) {
+	ctx.init()
+	return ctx.eval(root)
+}
+
+func (ctx *ExecContext) eval(n *Node) (*Table, error) {
+	if t, ok := ctx.memo[n]; ok {
+		return t, nil
+	}
+	t, err := ctx.evalOp(n)
+	if err != nil {
+		return nil, err
+	}
+	if n.Op != OpRecBase {
+		ctx.memo[n] = t
+	}
+	return t, nil
+}
+
+func (ctx *ExecContext) kid(n *Node, i int) (*Table, error) { return ctx.eval(n.Kids[i]) }
+
+func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
+	switch n.Op {
+	case OpLit:
+		return NewTable(n.LitCols, n.Rows), nil
+	case OpDoc:
+		d, ok := ctx.docs[n.URI]
+		if !ok {
+			if ctx.Docs == nil {
+				return nil, xdm.Errorf(xdm.ErrDoc, "no document resolver (doc(%q))", n.URI)
+			}
+			var err error
+			d, err = ctx.Docs(n.URI)
+			if err != nil {
+				return nil, err
+			}
+			ctx.docs[n.URI] = d
+		}
+		return NewTable([]string{"item"}, [][]xdm.Item{{xdm.NewNode(d.Root())}}), nil
+	case OpRecBase:
+		t, ok := ctx.binding[n]
+		if !ok {
+			return nil, xdm.NewError(xdm.ErrIFP, "recursion base referenced outside fixpoint")
+		}
+		return t, nil
+	case OpProject:
+		in, err := ctx.kid(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		srcIdx := make([]int, len(n.Proj))
+		cols := make([]string, len(n.Proj))
+		for i, p := range n.Proj {
+			srcIdx[i] = in.Col(p.In)
+			cols[i] = p.Out
+		}
+		rows := make([][]xdm.Item, len(in.Rows))
+		for r, row := range in.Rows {
+			out := make([]xdm.Item, len(srcIdx))
+			for i, s := range srcIdx {
+				out[i] = row[s]
+			}
+			rows[r] = out
+		}
+		return NewTable(cols, rows), nil
+	case OpAttach:
+		in, err := ctx.kid(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([][]xdm.Item, len(in.Rows))
+		for r, row := range in.Rows {
+			rows[r] = append(append(make([]xdm.Item, 0, len(row)+1), row...), n.Val)
+		}
+		return NewTable(n.Schema(), rows), nil
+	case OpSelect:
+		in, err := ctx.kid(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		c := in.Col(n.Col)
+		var rows [][]xdm.Item
+		for _, row := range in.Rows {
+			if row[c].Kind() == xdm.KBoolean && row[c].Bool() {
+				rows = append(rows, row)
+			}
+		}
+		return NewTable(in.Cols, rows), nil
+	case OpJoin:
+		return ctx.evalJoin(n, false, false)
+	case OpSemiJoin:
+		return ctx.evalJoin(n, true, false)
+	case OpAntiJoin:
+		return ctx.evalJoin(n, true, true)
+	case OpCross:
+		l, err := ctx.kid(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ctx.kid(n, 1)
+		if err != nil {
+			return nil, err
+		}
+		var rows [][]xdm.Item
+		for _, lr := range l.Rows {
+			for _, rr := range r.Rows {
+				rows = append(rows, concatRows(lr, rr))
+			}
+		}
+		return NewTable(n.Schema(), rows), nil
+	case OpDistinct:
+		in, err := ctx.kid(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		idx := make([]int, len(in.Cols))
+		for i := range idx {
+			idx[i] = i
+		}
+		set := newRowSet(len(idx))
+		var rows [][]xdm.Item
+		for _, row := range in.Rows {
+			if set.insert(row, idx) {
+				rows = append(rows, row)
+			}
+		}
+		return NewTable(in.Cols, rows), nil
+	case OpUnion:
+		l, err := ctx.kid(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ctx.kid(n, 1)
+		if err != nil {
+			return nil, err
+		}
+		ridx := make([]int, len(l.Cols))
+		for i, c := range l.Cols {
+			ridx[i] = r.Col(c)
+		}
+		rows := make([][]xdm.Item, 0, len(l.Rows)+len(r.Rows))
+		rows = append(rows, l.Rows...)
+		for _, row := range r.Rows {
+			out := make([]xdm.Item, len(ridx))
+			for i, s := range ridx {
+				out[i] = row[s]
+			}
+			rows = append(rows, out)
+		}
+		return NewTable(l.Cols, rows), nil
+	case OpDiff:
+		l, err := ctx.kid(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ctx.kid(n, 1)
+		if err != nil {
+			return nil, err
+		}
+		ridx := make([]int, len(l.Cols))
+		for i, c := range l.Cols {
+			ridx[i] = r.Col(c)
+		}
+		counts := newRowCounter(len(ridx))
+		for _, row := range r.Rows {
+			counts.add(row, ridx, 1)
+		}
+		lidx := make([]int, len(l.Cols))
+		for i := range lidx {
+			lidx[i] = i
+		}
+		var rows [][]xdm.Item
+		for _, row := range l.Rows {
+			if counts.add(row, lidx, 0) > 0 {
+				counts.add(row, lidx, -1)
+				continue
+			}
+			rows = append(rows, row)
+		}
+		return NewTable(l.Cols, rows), nil
+	case OpGroupCount:
+		in, err := ctx.kid(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		gidx := make([]int, len(n.GroupCols))
+		for i, c := range n.GroupCols {
+			gidx[i] = in.Col(c)
+		}
+		if len(gidx) != 1 {
+			return nil, xdm.Errorf(xdm.ErrType, "algebra: grouped count supports one group column, got %d", len(gidx))
+		}
+		slot := map[ikey]int{}
+		var reps []xdm.Item
+		var counts []int64
+		for _, row := range in.Rows {
+			k := itemIKey(row[gidx[0]])
+			i, ok := slot[k]
+			if !ok {
+				i = len(reps)
+				slot[k] = i
+				reps = append(reps, row[gidx[0]])
+				counts = append(counts, 0)
+			}
+			counts[i]++
+		}
+		rows := make([][]xdm.Item, len(reps))
+		for i, rep := range reps {
+			rows[i] = []xdm.Item{rep, xdm.NewInteger(counts[i])}
+		}
+		return NewTable(n.Schema(), rows), nil
+	case OpNumOp:
+		return ctx.evalNumOp(n)
+	case OpRowTag:
+		in, err := ctx.kid(n, 0)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([][]xdm.Item, len(in.Rows))
+		for r, row := range in.Rows {
+			rows[r] = append(append(make([]xdm.Item, 0, len(row)+1), row...), xdm.NewInteger(int64(r+1)))
+		}
+		return NewTable(n.Schema(), rows), nil
+	case OpRowNum:
+		return ctx.evalRowNum(n)
+	case OpStep:
+		return ctx.evalStep(n)
+	case OpIDLookup:
+		return ctx.evalIDLookup(n)
+	case OpCtor:
+		return ctx.evalCtor(n)
+	case OpMu:
+		return ctx.evalMu(n)
+	}
+	return nil, xdm.Errorf(xdm.ErrType, "algebra: unknown operator %v", n.Op)
+}
+
+func concatRows(a, b []xdm.Item) []xdm.Item {
+	out := make([]xdm.Item, 0, len(a)+len(b))
+	return append(append(out, a...), b...)
+}
+
+// ---- keys and comparisons ---------------------------------------------
+
+func nodeKey(n xdm.NodeRef) string {
+	return "o\x00" + strconv.FormatInt(n.D.Stamp(), 36) + ":" + strconv.FormatInt(int64(n.Pre), 36)
+}
+
+// exactKey is the identity key used by δ, \ and grouping (no promotion).
+func exactKey(it xdm.Item) string {
+	switch it.Kind() {
+	case xdm.KNode:
+		return nodeKey(it.Node())
+	case xdm.KString:
+		return "s\x00" + it.StringValue()
+	case xdm.KUntyped:
+		return "u\x00" + it.StringValue()
+	case xdm.KInteger:
+		return "i\x00" + strconv.FormatInt(it.Int(), 10)
+	case xdm.KDouble:
+		return "d\x00" + strconv.FormatFloat(it.Float(), 'g', -1, 64)
+	case xdm.KBoolean:
+		if it.Bool() {
+			return "b1"
+		}
+		return "b0"
+	}
+	return "?"
+}
+
+// compareItems orders items for ϱ and result extraction: nodes by document
+// order, numerics numerically, everything else by string value; distinct
+// classes order node < numeric < other (a total, deterministic order).
+func compareItems(a, b xdm.Item) int {
+	class := func(it xdm.Item) int {
+		switch {
+		case it.IsNode():
+			return 0
+		case it.IsNumeric():
+			return 1
+		default:
+			return 2
+		}
+	}
+	ca, cb := class(a), class(b)
+	if ca != cb {
+		return ca - cb
+	}
+	switch ca {
+	case 0:
+		an, bn := a.Node(), b.Node()
+		if an.Same(bn) {
+			return 0
+		}
+		if an.Before(bn) {
+			return -1
+		}
+		return 1
+	case 1:
+		av, bv := a.NumberValue(), b.NumberValue()
+		switch {
+		case av < bv:
+			return -1
+		case av > bv:
+			return 1
+		}
+		return 0
+	default:
+		return strings.Compare(a.StringValue(), b.StringValue())
+	}
+}
+
+// ---- joins --------------------------------------------------------------
+
+func (ctx *ExecContext) evalJoin(n *Node, semi, anti bool) (*Table, error) {
+	l, err := ctx.kid(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ctx.kid(n, 1)
+	if err != nil {
+		return nil, err
+	}
+	var eq, theta []JoinPred
+	for _, p := range n.Preds {
+		if p.Cmp == NumEq {
+			eq = append(eq, p)
+		} else {
+			theta = append(theta, p)
+		}
+	}
+	if len(eq) > 2 {
+		return nil, xdm.Errorf(xdm.ErrType, "algebra: joins support at most two equality predicates")
+	}
+	// Build a hash index on the right side over the equality predicates;
+	// the (build, probe) key-namespace scheme guarantees each matching
+	// pair meets under exactly one key, so no match deduplication needed.
+	rEqIdx := make([]int, len(eq))
+	lEqIdx := make([]int, len(eq))
+	for i, p := range eq {
+		lEqIdx[i] = l.Col(p.L)
+		rEqIdx[i] = r.Col(p.R)
+	}
+	idx1 := map[ikey][]int32{}
+	idx2 := map[ikey2][]int32{}
+	for ri, row := range r.Rows {
+		switch len(eq) {
+		case 1:
+			for _, k := range buildIKeys(row[rEqIdx[0]]) {
+				idx1[k] = append(idx1[k], int32(ri))
+			}
+		case 2:
+			for _, ka := range buildIKeys(row[rEqIdx[0]]) {
+				for _, kb := range buildIKeys(row[rEqIdx[1]]) {
+					k := ikey2{ka, kb}
+					idx2[k] = append(idx2[k], int32(ri))
+				}
+			}
+		}
+	}
+	lThetaIdx := make([]int, len(theta))
+	rThetaIdx := make([]int, len(theta))
+	for i, p := range theta {
+		lThetaIdx[i] = l.Col(p.L)
+		rThetaIdx[i] = r.Col(p.R)
+	}
+	var rows [][]xdm.Item
+	var candidates []int32
+	for _, lrow := range l.Rows {
+		matched := false
+		candidates = candidates[:0]
+		switch len(eq) {
+		case 1:
+			for _, k := range probeIKeys(lrow[lEqIdx[0]]) {
+				candidates = append(candidates, idx1[k]...)
+			}
+		case 2:
+			for _, ka := range probeIKeys(lrow[lEqIdx[0]]) {
+				for _, kb := range probeIKeys(lrow[lEqIdx[1]]) {
+					candidates = append(candidates, idx2[ikey2{ka, kb}]...)
+				}
+			}
+		default:
+			for i := range r.Rows {
+				candidates = append(candidates, int32(i))
+			}
+		}
+		for _, ri := range candidates {
+			rrow := r.Rows[int(ri)]
+			ok := true
+			for i, p := range theta {
+				if !predHolds(lrow[lThetaIdx[i]], rrow[rThetaIdx[i]], p.Cmp) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			matched = true
+			if semi {
+				break
+			}
+			rows = append(rows, concatRows(lrow, rrow))
+		}
+		if semi && matched != anti {
+			rows = append(rows, lrow)
+		}
+	}
+	if semi {
+		return NewTable(l.Cols, rows), nil
+	}
+	return NewTable(n.Schema(), rows), nil
+}
+
+// predHolds evaluates one theta-join predicate, covering node comparisons
+// that general-comparison promotion does not.
+func predHolds(a, b xdm.Item, k NumKind) bool {
+	switch k {
+	case NumIs, NumPrecedes, NumFollows:
+		if !a.IsNode() || !b.IsNode() {
+			return false
+		}
+		switch k {
+		case NumIs:
+			return a.Node().Same(b.Node())
+		case NumPrecedes:
+			return a.Node().Before(b.Node())
+		default:
+			return b.Node().Before(a.Node())
+		}
+	}
+	ok, err := xdm.GeneralCompareItems(a, b, numToCompOp(k))
+	return err == nil && ok
+}
+
+func numToCompOp(k NumKind) xdm.CompOp {
+	switch k {
+	case NumEq, NumValCmpEq:
+		return xdm.OpEq
+	case NumNe:
+		return xdm.OpNe
+	case NumLt:
+		return xdm.OpLt
+	case NumLe:
+		return xdm.OpLe
+	case NumGt:
+		return xdm.OpGt
+	case NumGe:
+		return xdm.OpGe
+	}
+	return xdm.OpEq
+}
+
+// ---- row-wise operators --------------------------------------------------
+
+func (ctx *ExecContext) evalNumOp(n *Node) (*Table, error) {
+	in, err := ctx.kid(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	argIdx := make([]int, len(n.NumArgs))
+	for i, a := range n.NumArgs {
+		argIdx[i] = in.Col(a)
+	}
+	rows := make([][]xdm.Item, len(in.Rows))
+	for r, row := range in.Rows {
+		v := applyNumOp(n.Num, row, argIdx)
+		rows[r] = append(append(make([]xdm.Item, 0, len(row)+1), row...), v)
+	}
+	return NewTable(n.Schema(), rows), nil
+}
+
+// applyNumOp computes one ⊚ application. The relational engine glosses
+// dynamic type errors (it computes over flat columns, not sequences): a
+// failed comparison yields false, failed arithmetic yields NaN. DESIGN.md
+// §7 records this deliberate divergence from the interpreter.
+func applyNumOp(kind NumKind, row []xdm.Item, idx []int) xdm.Item {
+	arg := func(i int) xdm.Item { return row[idx[i]] }
+	switch kind {
+	case NumAdd, NumSub, NumMul, NumDiv, NumIDiv, NumMod:
+		a := xdm.AtomizeItem(arg(0)).NumberValue()
+		b := xdm.AtomizeItem(arg(1)).NumberValue()
+		var f float64
+		switch kind {
+		case NumAdd:
+			f = a + b
+		case NumSub:
+			f = a - b
+		case NumMul:
+			f = a * b
+		case NumDiv:
+			f = a / b
+		case NumIDiv:
+			return xdm.NewInteger(int64(a / b))
+		case NumMod:
+			f = a - b*float64(int64(a/b))
+		}
+		if f == float64(int64(f)) && arg(0).Kind() == xdm.KInteger && arg(1).Kind() == xdm.KInteger {
+			return xdm.NewInteger(int64(f))
+		}
+		return xdm.NewDouble(f)
+	case NumNeg:
+		a := xdm.AtomizeItem(arg(0))
+		if a.Kind() == xdm.KInteger {
+			return xdm.NewInteger(-a.Int())
+		}
+		return xdm.NewDouble(-a.NumberValue())
+	case NumEq, NumNe, NumLt, NumLe, NumGt, NumGe, NumValCmpEq:
+		ok, err := xdm.GeneralCompareItems(arg(0), arg(1), numToCompOp(kind))
+		return xdm.NewBoolean(err == nil && ok)
+	case NumAnd:
+		return xdm.NewBoolean(truthy(arg(0)) && truthy(arg(1)))
+	case NumOr:
+		return xdm.NewBoolean(truthy(arg(0)) || truthy(arg(1)))
+	case NumNot:
+		return xdm.NewBoolean(!truthy(arg(0)))
+	case NumTruthy:
+		return xdm.NewBoolean(truthy(arg(0)))
+	case NumAtomize:
+		return xdm.AtomizeItem(arg(0))
+	case NumStringOf:
+		return xdm.NewString(arg(0).StringValue())
+	case NumNumberOf:
+		return xdm.NewDouble(xdm.AtomizeItem(arg(0)).NumberValue())
+	case NumNameOf:
+		if arg(0).IsNode() {
+			return xdm.NewString(arg(0).Node().Name())
+		}
+		return xdm.NewString("")
+	case NumRootOf:
+		if arg(0).IsNode() {
+			return xdm.NewNode(arg(0).Node().D.Root())
+		}
+		return arg(0)
+	case NumIs, NumPrecedes, NumFollows:
+		a, b := arg(0), arg(1)
+		if !a.IsNode() || !b.IsNode() {
+			return xdm.NewBoolean(false)
+		}
+		switch kind {
+		case NumIs:
+			return xdm.NewBoolean(a.Node().Same(b.Node()))
+		case NumPrecedes:
+			return xdm.NewBoolean(a.Node().Before(b.Node()))
+		default:
+			return xdm.NewBoolean(b.Node().Before(a.Node()))
+		}
+	}
+	return xdm.Item{}
+}
+
+func truthy(it xdm.Item) bool {
+	b, err := xdm.EBV(xdm.Singleton(it))
+	return err == nil && b
+}
+
+func (ctx *ExecContext) evalRowNum(n *Node) (*Table, error) {
+	in, err := ctx.kid(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	gidx := make([]int, len(n.GroupCols))
+	for i, c := range n.GroupCols {
+		gidx[i] = in.Col(c)
+	}
+	sidx := make([]int, len(n.SortCols))
+	for i, c := range n.SortCols {
+		sidx[i] = in.Col(c)
+	}
+	order := make([]int, len(in.Rows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := in.Rows[order[a]], in.Rows[order[b]]
+		for _, s := range sidx {
+			if c := compareItems(ra[s], rb[s]); c != 0 {
+				if n.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	ranks := make([]int64, len(in.Rows))
+	switch len(gidx) {
+	case 0:
+		var c int64
+		for _, ri := range order {
+			c++
+			ranks[ri] = c
+		}
+	case 1:
+		counters := map[ikey]int64{}
+		for _, ri := range order {
+			k := itemIKey(in.Rows[ri][gidx[0]])
+			counters[k]++
+			ranks[ri] = counters[k]
+		}
+	default:
+		counters := map[ikey2]int64{}
+		if len(gidx) > 2 {
+			return nil, xdm.Errorf(xdm.ErrType, "algebra: row numbering supports at most two partition columns")
+		}
+		for _, ri := range order {
+			k := ikey2{itemIKey(in.Rows[ri][gidx[0]]), itemIKey(in.Rows[ri][gidx[1]])}
+			counters[k]++
+			ranks[ri] = counters[k]
+		}
+	}
+	rows := make([][]xdm.Item, len(in.Rows))
+	for r, row := range in.Rows {
+		rows[r] = append(append(make([]xdm.Item, 0, len(row)+1), row...), xdm.NewInteger(ranks[r]))
+	}
+	return NewTable(n.Schema(), rows), nil
+}
+
+// evalStep is the XPath step join: the relational face of the staircase
+// join, answering axis steps with range scans over the pre/size/level
+// encoding in the xdm store.
+func (ctx *ExecContext) evalStep(n *Node) (*Table, error) {
+	in, err := ctx.kid(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	c := in.Col(n.ItemCol)
+	var rows [][]xdm.Item
+	for _, row := range in.Rows {
+		if !row[c].IsNode() {
+			continue
+		}
+		src := row[c].Node()
+		key := stepCacheKey{doc: src.D, pre: src.Pre, axis: n.Axis, kind: n.Test.Kind, name: n.Test.Name}
+		matches, ok := ctx.stepCache[key]
+		if !ok {
+			for _, m := range axisNodes(src, n.Axis) {
+				if matchTest(m, n.Test, n.Axis) {
+					matches = append(matches, m)
+				}
+			}
+			ctx.stepCache[key] = matches
+		}
+		for _, m := range matches {
+			out := append([]xdm.Item{}, row...)
+			out[c] = xdm.NewNode(m)
+			rows = append(rows, out)
+		}
+	}
+	return NewTable(in.Cols, rows), nil
+}
+
+func axisNodes(node xdm.NodeRef, axis ast.Axis) []xdm.NodeRef {
+	switch axis {
+	case ast.AxisChild:
+		return node.Children()
+	case ast.AxisDescendant:
+		return node.Descendants(false)
+	case ast.AxisDescendantOrSelf:
+		return node.Descendants(true)
+	case ast.AxisAttribute:
+		return node.Attributes()
+	case ast.AxisSelf:
+		return []xdm.NodeRef{node}
+	case ast.AxisParent:
+		if p, ok := node.Parent(); ok {
+			return []xdm.NodeRef{p}
+		}
+		return nil
+	case ast.AxisAncestor:
+		return node.Ancestors(false)
+	case ast.AxisAncestorOrSelf:
+		return node.Ancestors(true)
+	case ast.AxisFollowingSibling:
+		return node.FollowingSiblings()
+	case ast.AxisPrecedingSibling:
+		return node.PrecedingSiblings()
+	case ast.AxisFollowing:
+		return node.Following()
+	case ast.AxisPreceding:
+		return node.Preceding()
+	}
+	return nil
+}
+
+// matchTest mirrors the interpreter's node-test semantics (the principal
+// node kind of the attribute axis is attribute, of every other axis
+// element).
+func matchTest(n xdm.NodeRef, t ast.NodeTest, axis ast.Axis) bool {
+	nameOK := func(pattern string) bool {
+		return pattern == "" || pattern == "*" || pattern == n.Name()
+	}
+	switch t.Kind {
+	case ast.TestName:
+		if axis == ast.AxisAttribute {
+			return n.Kind() == xdm.AttributeNode && nameOK(t.Name)
+		}
+		return n.Kind() == xdm.ElementNode && nameOK(t.Name)
+	case ast.TestAnyKind:
+		return true
+	case ast.TestText:
+		return n.Kind() == xdm.TextNode
+	case ast.TestComment:
+		return n.Kind() == xdm.CommentNode
+	case ast.TestPI:
+		return n.Kind() == xdm.PINode && (t.Name == "" || n.Name() == t.Name)
+	case ast.TestElement:
+		return n.Kind() == xdm.ElementNode && nameOK(t.Name)
+	case ast.TestAttr:
+		return n.Kind() == xdm.AttributeNode && nameOK(t.Name)
+	case ast.TestDocument:
+		return n.Kind() == xdm.DocumentNode
+	}
+	return false
+}
+
+func (ctx *ExecContext) evalIDLookup(n *Node) (*Table, error) {
+	in, err := ctx.kid(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	valIdx := in.Col(n.ItemCol)
+	ctxIdx := in.Col(n.Col)
+	var rows [][]xdm.Item
+	for _, row := range in.Rows {
+		if !row[ctxIdx].IsNode() {
+			continue
+		}
+		doc := row[ctxIdx].Node().D
+		for _, tok := range strings.Fields(row[valIdx].StringValue()) {
+			if m, ok := doc.ByID(tok); ok {
+				out := append([]xdm.Item{}, row...)
+				out[valIdx] = xdm.NewNode(m)
+				rows = append(rows, out)
+			}
+		}
+	}
+	return NewTable(in.Cols, rows), nil
+}

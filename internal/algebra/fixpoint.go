@@ -1,0 +1,330 @@
+package algebra
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/xdm"
+)
+
+// evalMu executes the algebraic fixpoint operators µ (Naïve) and µ∆
+// (Delta) of Section 4.1. Unlike the interpreter, the relational fixpoint
+// is set-oriented: one µ execution iterates the body over *all* live
+// iterations of the enclosing loop simultaneously (the way MonetDB/XQuery
+// evaluates the bidder network's per-person recursion in bulk), converging
+// when no iteration's node set grows.
+//
+// Loop-invariant hoisting: sub-plans that do not depend on the recursion
+// base stay memoized across rounds; only base-dependent nodes re-evaluate.
+func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
+	seedT, err := ctx.kid(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	run := ctx.muAgg[n]
+	if run == nil {
+		run = &MuRun{Delta: n.Delta}
+		ctx.muAgg[n] = run
+	}
+	run.Executions++
+	maxIter := ctx.MaxIterations
+	if maxIter <= 0 {
+		maxIter = core.DefaultMaxIterations
+	}
+	deps := recDependents(n.Kids[1])
+	body := func(feed *iterSets) (*iterSets, error) {
+		run.Stats.PayloadCalls++
+		run.Stats.NodesFedBack += int64(feed.size())
+		for dep := range deps {
+			delete(ctx.memo, dep)
+		}
+		ctx.binding[n.RecBase] = feed.table()
+		out, err := ctx.eval(n.Kids[1])
+		if err != nil {
+			return nil, err
+		}
+		return newIterSets(out)
+	}
+	seed, err := newIterSets(seedT)
+	if err != nil {
+		return nil, err
+	}
+	res, err := body(seed)
+	if err != nil {
+		return nil, err
+	}
+	if n.Delta {
+		delta := res
+		for round := 0; delta.size() > 0; round++ {
+			if round >= maxIter {
+				return nil, xdm.Errorf(xdm.ErrIFP, "µ∆ did not converge within %d rounds", maxIter)
+			}
+			out, err := body(delta)
+			if err != nil {
+				return nil, err
+			}
+			delta = out.minus(res)
+			res = res.plus(delta)
+		}
+	} else {
+		for round := 0; ; round++ {
+			if round >= maxIter {
+				return nil, xdm.Errorf(xdm.ErrIFP, "µ did not converge within %d rounds", maxIter)
+			}
+			out, err := body(res)
+			if err != nil {
+				return nil, err
+			}
+			next := res.plus(out)
+			if next.size() == res.size() {
+				break
+			}
+			res = next
+		}
+	}
+	delete(ctx.binding, n.RecBase)
+	for dep := range deps {
+		delete(ctx.memo, dep)
+	}
+	if d := run.Stats.PayloadCalls/run.Executions - 1; d > run.Stats.Depth {
+		run.Stats.Depth = d
+	}
+	run.Stats.ResultSize += res.size()
+	return res.table(), nil
+}
+
+// recDependents collects the sub-plan nodes reachable from root that
+// contain an OpRecBase; these must be re-evaluated on every fixpoint round
+// while everything else stays hoisted in the memo cache.
+func recDependents(root *Node) map[*Node]bool {
+	memo := map[*Node]bool{}
+	var walk func(n *Node) bool
+	walk = func(n *Node) bool {
+		if v, ok := memo[n]; ok {
+			return v
+		}
+		memo[n] = n.Op == OpRecBase // guards against cycles (none expected)
+		dep := n.Op == OpRecBase
+		for _, k := range n.Kids {
+			if walk(k) {
+				dep = true
+			}
+		}
+		memo[n] = dep
+		return dep
+	}
+	walk(root)
+	out := map[*Node]bool{}
+	for n, dep := range memo {
+		if dep {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// iterSets is a per-iteration node set: the value flowing around the µ
+// loop. Items are deduplicated per iteration and kept in document order.
+type iterSets struct {
+	iters []xdm.Item                 // distinct iter values, insertion order
+	sets  map[ikey][]xdm.NodeRef     // iter key → doc-ordered nodes
+	seen  map[ikey]map[ikey]struct{} // iter key → node key set
+	reps  map[ikey]xdm.Item          // iter key → iter item
+	n     int
+}
+
+func emptyIterSets() *iterSets {
+	return &iterSets{sets: map[ikey][]xdm.NodeRef{}, seen: map[ikey]map[ikey]struct{}{}, reps: map[ikey]xdm.Item{}}
+}
+
+// newIterSets ingests an iter|…|item table, deduplicating per iter and
+// sorting into document order. Non-node items are a type error: the IFP is
+// defined over node()* (Definition 2.1).
+func newIterSets(t *Table) (*iterSets, error) {
+	s := emptyIterSets()
+	iterIdx := t.Col("iter")
+	itemIdx := t.Col("item")
+	for _, row := range t.Rows {
+		if !row[itemIdx].IsNode() {
+			return nil, xdm.NewError(xdm.ErrType, "inflationary fixed point over non-node items")
+		}
+		s.add(row[iterIdx], row[itemIdx].Node())
+	}
+	s.sortAll()
+	return s, nil
+}
+
+func (s *iterSets) add(iter xdm.Item, node xdm.NodeRef) bool {
+	ik := itemIKey(iter)
+	set, ok := s.seen[ik]
+	if !ok {
+		set = map[ikey]struct{}{}
+		s.seen[ik] = set
+		s.reps[ik] = iter
+		s.iters = append(s.iters, iter)
+	}
+	nk := ikey{kind: ikNode, doc: node.D, pre: node.Pre}
+	if _, dup := set[nk]; dup {
+		return false
+	}
+	set[nk] = struct{}{}
+	s.sets[ik] = append(s.sets[ik], node)
+	s.n++
+	return true
+}
+
+func (s *iterSets) sortAll() {
+	for _, nodes := range s.sets {
+		xdm.SortNodes(nodes)
+	}
+}
+
+func (s *iterSets) size() int { return s.n }
+
+// plus returns the union s ∪ o (per iteration).
+func (s *iterSets) plus(o *iterSets) *iterSets {
+	out := emptyIterSets()
+	for _, iter := range s.iters {
+		for _, n := range s.sets[itemIKey(iter)] {
+			out.add(iter, n)
+		}
+	}
+	for _, iter := range o.iters {
+		for _, n := range o.sets[itemIKey(iter)] {
+			out.add(iter, n)
+		}
+	}
+	out.sortAll()
+	return out
+}
+
+// minus returns s \ o (per iteration).
+func (s *iterSets) minus(o *iterSets) *iterSets {
+	out := emptyIterSets()
+	for _, iter := range s.iters {
+		ik := itemIKey(iter)
+		drop := o.seen[ik]
+		for _, n := range s.sets[ik] {
+			if _, hit := drop[ikey{kind: ikNode, doc: n.D, pre: n.Pre}]; !hit {
+				out.add(iter, n)
+			}
+		}
+	}
+	out.sortAll()
+	return out
+}
+
+// table materializes the sets as an iter|pos|item relation with pos the
+// document-order rank within each iteration. Iterations are emitted in a
+// deterministic order.
+func (s *iterSets) table() *Table {
+	order := make([]xdm.Item, len(s.iters))
+	copy(order, s.iters)
+	sort.SliceStable(order, func(i, j int) bool { return compareItems(order[i], order[j]) < 0 })
+	var rows [][]xdm.Item
+	for _, iter := range order {
+		for i, n := range s.sets[itemIKey(iter)] {
+			rows = append(rows, []xdm.Item{iter, xdm.NewInteger(int64(i + 1)), xdm.NewNode(n)})
+		}
+	}
+	return NewTable([]string{"iter", "pos", "item"}, rows)
+}
+
+// evalCtor executes a constructor operator: Kids[0] is the loop relation
+// (one element/attribute/text node is built per live iteration), Kids[1]
+// the iter|pos|item content plan. Attribute items must precede content;
+// runs of atomic items merge into space-separated text nodes; node items
+// are deep-copied — every execution mints fresh identities, which is why ε
+// blocks distributivity (Table 1).
+func (ctx *ExecContext) evalCtor(n *Node) (*Table, error) {
+	loop, err := ctx.kid(n, 0)
+	if err != nil {
+		return nil, err
+	}
+	content, err := ctx.kid(n, 1)
+	if err != nil {
+		return nil, err
+	}
+	iterIdx := content.Col("iter")
+	posIdx := content.Col("pos")
+	itemIdx := content.Col("item")
+	byIter := map[ikey][][]xdm.Item{}
+	for _, row := range content.Rows {
+		byIter[itemIKey(row[iterIdx])] = append(byIter[itemIKey(row[iterIdx])], row)
+	}
+	loopIter := loop.Col("iter")
+	var rows [][]xdm.Item
+	for _, lrow := range loop.Rows {
+		iter := lrow[loopIter]
+		items := byIter[itemIKey(iter)]
+		sort.SliceStable(items, func(a, b int) bool {
+			return compareItems(items[a][posIdx], items[b][posIdx]) < 0
+		})
+		node, err := buildCtorNode(n, items, itemIdx)
+		if err != nil {
+			return nil, err
+		}
+		if node != nil {
+			rows = append(rows, []xdm.Item{iter, xdm.NewInteger(1), *node})
+		}
+	}
+	return NewTable([]string{"iter", "pos", "item"}, rows), nil
+}
+
+func buildCtorNode(n *Node, items [][]xdm.Item, itemIdx int) (*xdm.Item, error) {
+	switch n.Ctor {
+	case CtorText:
+		if len(items) == 0 {
+			return nil, nil
+		}
+		parts := make([]string, len(items))
+		for i, row := range items {
+			parts[i] = row[itemIdx].StringValue()
+		}
+		it := xdm.NewNode(xdm.NewLeafDoc(xdm.TextNode, "", strings.Join(parts, " ")))
+		return &it, nil
+	case CtorAttr:
+		parts := make([]string, len(items))
+		for i, row := range items {
+			parts[i] = row[itemIdx].StringValue()
+		}
+		it := xdm.NewNode(xdm.NewLeafDoc(xdm.AttributeNode, n.CtorName, strings.Join(parts, " ")))
+		return &it, nil
+	case CtorElem:
+		b := xdm.NewBuilder("")
+		b.StartElement(n.CtorName)
+		contentStarted := false
+		var atomics []string
+		flush := func() {
+			if len(atomics) > 0 {
+				b.Text(strings.Join(atomics, " "))
+				atomics = nil
+			}
+		}
+		for _, row := range items {
+			it := row[itemIdx]
+			if !it.IsNode() {
+				atomics = append(atomics, it.StringValue())
+				contentStarted = true
+				continue
+			}
+			node := it.Node()
+			if node.Kind() == xdm.AttributeNode {
+				if contentStarted {
+					return nil, xdm.NewError("XQTY0024", "attribute follows element content in constructor")
+				}
+				b.Attribute(node.Name(), node.Value())
+				continue
+			}
+			flush()
+			contentStarted = true
+			b.CopyTree(node)
+		}
+		flush()
+		b.EndElement()
+		it := xdm.NewNode(xdm.NodeRef{D: b.Done(), Pre: 1})
+		return &it, nil
+	}
+	return nil, xdm.NewError(xdm.ErrType, "algebra: unknown constructor kind")
+}

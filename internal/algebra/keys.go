@@ -1,0 +1,215 @@
+package algebra
+
+import (
+	"strings"
+
+	"repro/internal/xdm"
+)
+
+// ikey is a comparable exact-identity key for one item: node identity for
+// nodes, (kind, value) for atomics. Namespace kinds > 64 encode the
+// general-comparison promotion namespaces used by hash joins.
+type ikey struct {
+	kind uint8
+	doc  *xdm.Document
+	pre  int32
+	num  float64
+	str  string
+}
+
+const (
+	ikNode uint8 = iota
+	ikString
+	ikUntyped
+	ikInteger
+	ikDouble
+	ikBoolTrue
+	ikBoolFalse
+	// join namespaces (buildKeys/probeKeys)
+	ikJoinStr // string-comparison namespace
+	ikJoinN   // numeric namespace probed by numerics
+	ikJoinM   // numeric namespace probed by untyped
+)
+
+func itemIKey(it xdm.Item) ikey {
+	switch it.Kind() {
+	case xdm.KNode:
+		n := it.Node()
+		return ikey{kind: ikNode, doc: n.D, pre: n.Pre}
+	case xdm.KString:
+		return ikey{kind: ikString, str: it.StringValue()}
+	case xdm.KUntyped:
+		return ikey{kind: ikUntyped, str: it.StringValue()}
+	case xdm.KInteger:
+		return ikey{kind: ikInteger, num: float64(it.Int())}
+	case xdm.KDouble:
+		return ikey{kind: ikDouble, num: it.Float()}
+	case xdm.KBoolean:
+		if it.Bool() {
+			return ikey{kind: ikBoolTrue}
+		}
+		return ikey{kind: ikBoolFalse}
+	}
+	return ikey{kind: 255}
+}
+
+// ikey2 and ikey3 are composite row keys.
+type ikey2 struct{ a, b ikey }
+type ikey3 struct{ a, b, c ikey }
+
+// buildIKeys/probeIKeys realize general-comparison promotion through
+// multi-key insertion and probing (see the scheme documented on buildKeys).
+func buildIKeys(it xdm.Item) []ikey {
+	switch it.Kind() {
+	case xdm.KNode:
+		n := it.Node()
+		return []ikey{{kind: ikNode, doc: n.D, pre: n.Pre}}
+	case xdm.KString:
+		return []ikey{{kind: ikJoinStr, str: it.StringValue()}}
+	case xdm.KUntyped:
+		keys := []ikey{{kind: ikJoinStr, str: it.StringValue()}}
+		if f, err := xdm.ParseDouble(strings.TrimSpace(it.StringValue())); err == nil {
+			keys = append(keys, ikey{kind: ikJoinN, num: f})
+		}
+		return keys
+	case xdm.KInteger:
+		f := float64(it.Int())
+		return []ikey{{kind: ikJoinN, num: f}, {kind: ikJoinM, num: f}}
+	case xdm.KDouble:
+		return []ikey{{kind: ikJoinN, num: it.Float()}, {kind: ikJoinM, num: it.Float()}}
+	case xdm.KBoolean:
+		if it.Bool() {
+			return []ikey{{kind: ikBoolTrue}}
+		}
+		return []ikey{{kind: ikBoolFalse}}
+	}
+	return []ikey{{kind: 255}}
+}
+
+func probeIKeys(it xdm.Item) []ikey {
+	switch it.Kind() {
+	case xdm.KNode:
+		n := it.Node()
+		return []ikey{{kind: ikNode, doc: n.D, pre: n.Pre}}
+	case xdm.KString:
+		return []ikey{{kind: ikJoinStr, str: it.StringValue()}}
+	case xdm.KUntyped:
+		keys := []ikey{{kind: ikJoinStr, str: it.StringValue()}}
+		if f, err := xdm.ParseDouble(strings.TrimSpace(it.StringValue())); err == nil {
+			keys = append(keys, ikey{kind: ikJoinM, num: f})
+		}
+		return keys
+	case xdm.KInteger:
+		return []ikey{{kind: ikJoinN, num: float64(it.Int())}}
+	case xdm.KDouble:
+		return []ikey{{kind: ikJoinN, num: it.Float()}}
+	case xdm.KBoolean:
+		if it.Bool() {
+			return []ikey{{kind: ikBoolTrue}}
+		}
+		return []ikey{{kind: ikBoolFalse}}
+	}
+	return []ikey{{kind: 255}}
+}
+
+// rowSet tracks distinct rows of width 1–3 without string building; wider
+// rows fall back to encoded strings.
+type rowSet struct {
+	w  int
+	k1 map[ikey]struct{}
+	k2 map[ikey2]struct{}
+	k3 map[ikey3]struct{}
+	ks map[string]struct{}
+}
+
+func newRowSet(width int) *rowSet {
+	s := &rowSet{w: width}
+	switch width {
+	case 1:
+		s.k1 = map[ikey]struct{}{}
+	case 2:
+		s.k2 = map[ikey2]struct{}{}
+	case 3:
+		s.k3 = map[ikey3]struct{}{}
+	default:
+		s.ks = map[string]struct{}{}
+	}
+	return s
+}
+
+// insert reports whether the row was new.
+func (s *rowSet) insert(row []xdm.Item, idx []int) bool {
+	switch s.w {
+	case 1:
+		k := itemIKey(row[idx[0]])
+		if _, ok := s.k1[k]; ok {
+			return false
+		}
+		s.k1[k] = struct{}{}
+	case 2:
+		k := ikey2{itemIKey(row[idx[0]]), itemIKey(row[idx[1]])}
+		if _, ok := s.k2[k]; ok {
+			return false
+		}
+		s.k2[k] = struct{}{}
+	case 3:
+		k := ikey3{itemIKey(row[idx[0]]), itemIKey(row[idx[1]]), itemIKey(row[idx[2]])}
+		if _, ok := s.k3[k]; ok {
+			return false
+		}
+		s.k3[k] = struct{}{}
+	default:
+		parts := make([]string, len(idx))
+		for i, c := range idx {
+			parts[i] = exactKey(row[c])
+		}
+		k := strings.Join(parts, "\x01")
+		if _, ok := s.ks[k]; ok {
+			return false
+		}
+		s.ks[k] = struct{}{}
+	}
+	return true
+}
+
+// rowCounter counts row multiplicities (bag difference).
+type rowCounter struct {
+	w  int
+	k1 map[ikey]int
+	k2 map[ikey2]int
+	ks map[string]int
+}
+
+func newRowCounter(width int) *rowCounter {
+	c := &rowCounter{w: width}
+	switch width {
+	case 1:
+		c.k1 = map[ikey]int{}
+	case 2:
+		c.k2 = map[ikey2]int{}
+	default:
+		c.ks = map[string]int{}
+	}
+	return c
+}
+
+func (c *rowCounter) add(row []xdm.Item, idx []int, delta int) int {
+	switch c.w {
+	case 1:
+		k := itemIKey(row[idx[0]])
+		c.k1[k] += delta
+		return c.k1[k]
+	case 2:
+		k := ikey2{itemIKey(row[idx[0]]), itemIKey(row[idx[1]])}
+		c.k2[k] += delta
+		return c.k2[k]
+	default:
+		parts := make([]string, len(idx))
+		for i, cc := range idx {
+			parts[i] = exactKey(row[cc])
+		}
+		k := strings.Join(parts, "\x01")
+		c.ks[k] += delta
+		return c.ks[k]
+	}
+}

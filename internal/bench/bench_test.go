@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/xmlgen"
+)
+
+// TestExperimentsAgreeAcrossEnginesAndAlgorithms runs scaled-down variants
+// of every Table 2 workload and checks the paper's invariants: both
+// engines and both algorithms compute the same result; every body is
+// certified distributive (as Pathfinder recognized all §5 queries); and
+// Delta never feeds more nodes than Naïve.
+func TestExperimentsAgreeAcrossEnginesAndAlgorithms(t *testing.T) {
+	small := []Experiment{
+		{ID: "t-bidder", Name: "bidder", Query: BidderNetworkQuery, DocURI: "auction.xml",
+			DocXML: func() string { return smallAuction() }},
+		{ID: "t-dialogs", Name: "dialogs", Query: DialogsQuery, DocURI: "play.xml",
+			DocXML: func() string { return smallPlay() }},
+		{ID: "t-curriculum", Name: "curriculum", Query: CurriculumQuery, DocURI: "curriculum.xml",
+			DocXML: func() string { return smallCurriculum() }},
+		{ID: "t-hospital", Name: "hospital", Query: HospitalQuery, DocURI: "hospital.xml",
+			DocXML: func() string { return smallHospital() }},
+	}
+	r := &Runner{}
+	for _, exp := range small {
+		row, err := r.Run(exp)
+		if err != nil {
+			t.Fatalf("%s: %v", exp.Name, err)
+		}
+		var lens []int
+		var naiveFed, deltaFed int64
+		for _, m := range row.Measurements {
+			lens = append(lens, m.ResultLen)
+			if !m.Distributive {
+				t.Errorf("%s: %s did not certify the body distributive", exp.Name, m.Engine)
+			}
+			if m.Algorithm == core.Naive {
+				naiveFed += m.Stats.NodesFedBack
+			} else {
+				deltaFed += m.Stats.NodesFedBack
+			}
+			// Naïve always applies the payload at least twice; Delta may
+			// converge after the seeding application (depth 0).
+			if m.Algorithm == core.Naive && m.Stats.Depth < 1 {
+				t.Errorf("%s/%s/%v: depth %d, want >= 1", exp.Name, m.Engine, m.Algorithm, m.Stats.Depth)
+			}
+		}
+		for _, l := range lens[1:] {
+			if l != lens[0] {
+				t.Errorf("%s: result sizes diverge across engines/algorithms: %v", exp.Name, lens)
+			}
+		}
+		if deltaFed > naiveFed {
+			t.Errorf("%s: Delta fed %d nodes, Naive %d — Delta must not feed more", exp.Name, deltaFed, naiveFed)
+		}
+	}
+}
+
+func smallAuction() string {
+	return xmlgen.Auction(xmlgen.AuctionConfig{People: 30, OpenAuctions: 20, MaxBiddersPerAuction: 4, Seed: 1})
+}
+
+func smallPlay() string {
+	return xmlgen.Play(xmlgen.PlayConfig{Acts: 1, ScenesPerAct: 2, SpeechesPerScene: 20, MaxDialogRun: 6, Seed: 1})
+}
+
+func smallCurriculum() string {
+	return xmlgen.Curriculum(xmlgen.CurriculumSized(60))
+}
+
+func smallHospital() string {
+	return xmlgen.Hospital(xmlgen.HospitalSized(120))
+}

@@ -1,0 +1,185 @@
+// Package core implements the paper's inflationary fixed point (IFP)
+// semantics (Definition 2.1) and its two evaluation algorithms, Naïve and
+// Delta (Figure 3), independent of any particular XQuery engine. Both the
+// direct interpreter (internal/xq/interp) and the relational back-end
+// (internal/algebra/exec) drive their fixpoints through this package so
+// that instrumentation — iterations, nodes fed back — is uniform across
+// engines, matching the columns of the paper's Table 2.
+package core
+
+import (
+	"repro/internal/xdm"
+)
+
+// Payload is the recursion body e_rec regarded as a function of the
+// recursion variable: it maps a node sequence bound to $x to the node
+// sequence e_rec($x).
+type Payload func(xdm.Sequence) (xdm.Sequence, error)
+
+// Algorithm selects the fixpoint evaluation strategy.
+type Algorithm uint8
+
+// Fixpoint algorithms.
+const (
+	// Naive recomputes the payload over the whole accumulated result in
+	// every round (Figure 3(a)).
+	Naive Algorithm = iota
+	// Delta feeds only the newly discovered nodes back into the payload
+	// (Figure 3(b)); safe exactly when the payload is distributive
+	// (Theorem 3.2).
+	Delta
+)
+
+// String names the algorithm as the paper does.
+func (a Algorithm) String() string {
+	if a == Delta {
+		return "Delta"
+	}
+	return "Naive"
+}
+
+// Stats instruments one fixpoint computation with the quantities reported
+// in Table 2.
+type Stats struct {
+	// Depth is the recursion depth: the number of payload applications
+	// after the seeding application (the k of Definition 2.1).
+	Depth int
+	// PayloadCalls counts every invocation of the payload, including the
+	// initial application to the seed.
+	PayloadCalls int
+	// NodesFedBack totals the sequence lengths fed into the payload
+	// across all invocations ("Total # of Nodes Fed Back").
+	NodesFedBack int64
+	// ResultSize is the cardinality of the fixpoint.
+	ResultSize int
+}
+
+// Add accumulates another run's counters (used when an IFP executes once
+// per binding of an enclosing for-loop, as in the bidder network query).
+func (s *Stats) Add(o Stats) {
+	if o.Depth > s.Depth {
+		s.Depth = o.Depth
+	}
+	s.PayloadCalls += o.PayloadCalls
+	s.NodesFedBack += o.NodesFedBack
+	s.ResultSize += o.ResultSize
+}
+
+// DefaultMaxIterations bounds fixpoint rounds; bodies invoking node
+// constructors can make the IFP undefined (Definition 2.1), which this
+// bound turns into an IFPX0001 error instead of divergence.
+const DefaultMaxIterations = 1 << 20
+
+// Run computes the IFP of the payload seeded by seed using the requested
+// algorithm. maxIter <= 0 selects DefaultMaxIterations.
+func Run(alg Algorithm, seed xdm.Sequence, body Payload, maxIter int) (xdm.Sequence, Stats, error) {
+	if alg == Delta {
+		return RunDelta(seed, body, maxIter)
+	}
+	return RunNaive(seed, body, maxIter)
+}
+
+func checkNodes(s xdm.Sequence, role string) error {
+	if !s.AllNodes() {
+		return xdm.NewError(xdm.ErrType, "inflationary fixed point "+role+" must be of type node()*")
+	}
+	return nil
+}
+
+// RunNaive is algorithm Naïve (Figure 3(a)):
+//
+//	res ← e_rec(e_seed);
+//	do res ← e_rec(res) union res while res grows
+func RunNaive(seed xdm.Sequence, body Payload, maxIter int) (xdm.Sequence, Stats, error) {
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	var st Stats
+	if err := checkNodes(seed, "seed"); err != nil {
+		return nil, st, err
+	}
+	res, err := applyPayload(body, seed, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	for round := 0; ; round++ {
+		if round >= maxIter {
+			return nil, st, xdm.Errorf(xdm.ErrIFP,
+				"inflationary fixed point did not converge within %d iterations", maxIter)
+		}
+		step, err := applyPayload(body, res, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		next, err := xdm.Union(step, res)
+		if err != nil {
+			return nil, st, err
+		}
+		if len(next) == len(res) { // res is inflationary: same size ⇒ set-equal
+			st.Depth = st.PayloadCalls - 1
+			st.ResultSize = len(res)
+			return res, st, nil
+		}
+		res = next
+	}
+}
+
+// RunDelta is algorithm Delta (Figure 3(b)):
+//
+//	res ← e_rec(e_seed); ∆ ← res;
+//	do ∆ ← e_rec(∆) except res; res ← ∆ union res while res grows
+func RunDelta(seed xdm.Sequence, body Payload, maxIter int) (xdm.Sequence, Stats, error) {
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	var st Stats
+	if err := checkNodes(seed, "seed"); err != nil {
+		return nil, st, err
+	}
+	res, err := applyPayload(body, seed, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	delta := res
+	for round := 0; len(delta) > 0; round++ {
+		if round >= maxIter {
+			return nil, st, xdm.Errorf(xdm.ErrIFP,
+				"inflationary fixed point did not converge within %d iterations", maxIter)
+		}
+		step, err := applyPayload(body, delta, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		delta, err = xdm.Except(step, res)
+		if err != nil {
+			return nil, st, err
+		}
+		res, err = xdm.Union(delta, res)
+		if err != nil {
+			return nil, st, err
+		}
+	}
+	st.Depth = st.PayloadCalls - 1
+	st.ResultSize = len(res)
+	return res, st, nil
+}
+
+// applyPayload feeds in (in distinct document order, as the recursion
+// variable is bound to a node *set*) into the payload and ddo-normalizes
+// the answer, updating the instrumentation counters.
+func applyPayload(body Payload, in xdm.Sequence, st *Stats) (xdm.Sequence, error) {
+	ddoIn, err := xdm.DDO(in)
+	if err != nil {
+		return nil, err
+	}
+	st.PayloadCalls++
+	st.NodesFedBack += int64(len(ddoIn))
+	out, err := body(ddoIn)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkNodes(out, "body result"); err != nil {
+		return nil, err
+	}
+	return xdm.DDO(out)
+}

@@ -1,0 +1,290 @@
+// Package regularxpath implements Regular XPath [25]: XPath location paths
+// closed under concatenation, union, and (reflexive) transitive closure.
+// Paths translate into the XQuery subset of this repository; the closure
+// operators p+ and p* become inflationary fixed points
+// (`with $x seeded by · recurse $x/p`, Section 2 of the paper), whose
+// bodies are distributive by construction (§3.1's location-step argument),
+// so both engines evaluate them with algorithm Delta.
+package regularxpath
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xq/ast"
+)
+
+// Path is a parsed Regular XPath expression.
+type Path struct {
+	root rnode
+}
+
+type rnode interface{ rn() }
+
+type rStep struct {
+	axis ast.Axis
+	test ast.NodeTest
+}
+type rSeq struct{ l, r rnode }
+type rUnion struct{ l, r rnode }
+type rClosure struct {
+	e         rnode
+	reflexive bool // * vs +
+}
+type rFilter struct {
+	e    rnode
+	cond rnode
+}
+type rDot struct{}
+
+func (*rStep) rn()    {}
+func (*rSeq) rn()     {}
+func (*rUnion) rn()   {}
+func (*rClosure) rn() {}
+func (*rFilter) rn()  {}
+func (*rDot) rn()     {}
+
+// Parse parses a Regular XPath expression, e.g.
+//
+//	(child::course/child::prerequisites/child::pre_code)+
+//	descendant::a/(b | c)*[d]
+func Parse(src string) (*Path, error) {
+	p := &rparser{src: src}
+	p.skip()
+	root, err := p.parseUnion()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if p.pos < len(p.src) {
+		return nil, fmt.Errorf("regularxpath: unexpected %q at offset %d", p.src[p.pos:], p.pos)
+	}
+	return &Path{root: root}, nil
+}
+
+// MustParse parses or panics (fixtures).
+func MustParse(src string) *Path {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ToXQuery translates the path applied to a context expression (of type
+// node()*) into the XQuery AST. Closure subterms become Fixpoint nodes.
+func (p *Path) ToXQuery(ctx ast.Expr) ast.Expr {
+	t := &translator{}
+	return t.tr(p.root, ctx)
+}
+
+// Expr translates the path relative to the context item `.`.
+func (p *Path) Expr() ast.Expr { return p.ToXQuery(&ast.ContextItem{}) }
+
+// String renders the translated XQuery source.
+func (p *Path) String() string { return ast.Format(p.Expr()) }
+
+type translator struct{ fresh int }
+
+func (t *translator) freshVar() string {
+	t.fresh++
+	return fmt.Sprintf("rx%d", t.fresh)
+}
+
+func (t *translator) tr(n rnode, ctx ast.Expr) ast.Expr {
+	switch x := n.(type) {
+	case *rDot:
+		return ctx
+	case *rStep:
+		return &ast.Slash{L: ctx, R: &ast.AxisStep{Axis: x.axis, Test: x.test}}
+	case *rSeq:
+		return t.tr(x.r, t.tr(x.l, ctx))
+	case *rUnion:
+		return &ast.Binary{Op: ast.OpUnion, L: t.tr(x.l, ctx), R: t.tr(x.r, ctx)}
+	case *rClosure:
+		v := t.freshVar()
+		plus := &ast.Fixpoint{
+			Var:  v,
+			Seed: ctx,
+			Body: t.tr(x.e, &ast.VarRef{Name: v}),
+		}
+		if x.reflexive {
+			// p* includes the context nodes themselves.
+			return &ast.Binary{Op: ast.OpUnion, L: ast.Copy(ctx), R: plus}
+		}
+		return plus
+	case *rFilter:
+		return &ast.Filter{E: t.tr(x.e, ctx), Preds: []ast.Expr{t.tr(x.cond, &ast.ContextItem{})}}
+	}
+	return ctx
+}
+
+// ---- parser --------------------------------------------------------------
+
+type rparser struct {
+	src string
+	pos int
+}
+
+func (p *rparser) skip() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *rparser) peekByte() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *rparser) parseUnion() (rnode, error) {
+	l, err := p.parseSeq()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if p.peekByte() != '|' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseSeq()
+		if err != nil {
+			return nil, err
+		}
+		l = &rUnion{l, r}
+	}
+}
+
+func (p *rparser) parseSeq() (rnode, error) {
+	l, err := p.parsePostfix()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		if p.peekByte() != '/' {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parsePostfix()
+		if err != nil {
+			return nil, err
+		}
+		l = &rSeq{l, r}
+	}
+}
+
+func (p *rparser) parsePostfix() (rnode, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		p.skip()
+		switch p.peekByte() {
+		case '+':
+			p.pos++
+			e = &rClosure{e: e}
+		case '*':
+			p.pos++
+			e = &rClosure{e: e, reflexive: true}
+		case '[':
+			p.pos++
+			cond, err := p.parseUnion()
+			if err != nil {
+				return nil, err
+			}
+			p.skip()
+			if p.peekByte() != ']' {
+				return nil, fmt.Errorf("regularxpath: expected ']' at offset %d", p.pos)
+			}
+			p.pos++
+			e = &rFilter{e: e, cond: cond}
+		default:
+			return e, nil
+		}
+	}
+}
+
+var axisNames = map[string]ast.Axis{
+	"child": ast.AxisChild, "descendant": ast.AxisDescendant, "attribute": ast.AxisAttribute,
+	"self": ast.AxisSelf, "descendant-or-self": ast.AxisDescendantOrSelf,
+	"following-sibling": ast.AxisFollowingSibling, "following": ast.AxisFollowing,
+	"parent": ast.AxisParent, "ancestor": ast.AxisAncestor,
+	"preceding-sibling": ast.AxisPrecedingSibling, "preceding": ast.AxisPreceding,
+	"ancestor-or-self": ast.AxisAncestorOrSelf,
+}
+
+func (p *rparser) parsePrimary() (rnode, error) {
+	p.skip()
+	switch p.peekByte() {
+	case '(':
+		p.pos++
+		e, err := p.parseUnion()
+		if err != nil {
+			return nil, err
+		}
+		p.skip()
+		if p.peekByte() != ')' {
+			return nil, fmt.Errorf("regularxpath: expected ')' at offset %d", p.pos)
+		}
+		p.pos++
+		return e, nil
+	case '.':
+		p.pos++
+		return &rDot{}, nil
+	case '@':
+		p.pos++
+		name, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		return &rStep{axis: ast.AxisAttribute, test: ast.NodeTest{Kind: ast.TestName, Name: name}}, nil
+	case '*':
+		// leading '*' is a wildcard child step, not a closure
+		p.pos++
+		return &rStep{axis: ast.AxisChild, test: ast.NodeTest{Kind: ast.TestName, Name: "*"}}, nil
+	}
+	name, err := p.parseName()
+	if err != nil {
+		return nil, err
+	}
+	p.skip()
+	if strings.HasPrefix(p.src[p.pos:], "::") {
+		axis, ok := axisNames[name]
+		if !ok {
+			return nil, fmt.Errorf("regularxpath: unknown axis %q", name)
+		}
+		p.pos += 2
+		p.skip()
+		if p.peekByte() == '*' {
+			p.pos++
+			return &rStep{axis: axis, test: ast.NodeTest{Kind: ast.TestName, Name: "*"}}, nil
+		}
+		test, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		return &rStep{axis: axis, test: ast.NodeTest{Kind: ast.TestName, Name: test}}, nil
+	}
+	return &rStep{axis: ast.AxisChild, test: ast.NodeTest{Kind: ast.TestName, Name: name}}, nil
+}
+
+func (p *rparser) parseName() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || c == '-' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("regularxpath: expected name at offset %d", p.pos)
+	}
+	return p.src[start:p.pos], nil
+}

@@ -1,0 +1,133 @@
+package regularxpath
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xdm"
+	"repro/internal/xmldoc"
+	"repro/internal/xq/ast"
+	"repro/internal/xq/dist"
+	"repro/internal/xq/interp"
+)
+
+func translate(t *testing.T, src string) string {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return p.String()
+}
+
+func TestTranslation(t *testing.T) {
+	cases := []struct{ rx, want string }{
+		{`a`, `./a`},
+		{`a/b`, `./a/b`},
+		{`a | b`, `./a union ./b`},
+		{`@id`, `./@id`},
+		{`child::a`, `./a`},
+		{`descendant::x`, `./descendant::x`},
+		{`a+`, `with $rx1 seeded by . recurse $rx1/a`},
+		{`a*`, `. union (with $rx1 seeded by . recurse $rx1/a)`},
+		{`(a/b)+`, `with $rx1 seeded by . recurse $rx1/a/b`},
+		{`a[b]`, `(./a)[./b]`},
+		{`.`, `.`},
+	}
+	for _, c := range cases {
+		if got := translate(t, c.rx); got != c.want {
+			t.Errorf("translate(%q) = %q, want %q", c.rx, got, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{``, `a/`, `(a`, `a[`, `a[b`, `foo::a`, `a ||`} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parse %q: expected error", src)
+		}
+	}
+}
+
+func evalRX(t *testing.T, rx, xml string) xdm.Sequence {
+	t.Helper()
+	doc, err := xmldoc.ParseString(xml, "d.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := xdm.NewNode(doc.Root())
+	en := interp.New(&ast.Module{Body: p.Expr()}, interp.Options{ContextItem: &item})
+	res, err := en.Eval()
+	if err != nil {
+		t.Fatalf("eval %q: %v", rx, err)
+	}
+	return res.Value
+}
+
+const treeXML = `<a><b><c><b><c/></b></c></b><c/></a>`
+
+func TestClosureEvaluation(t *testing.T) {
+	names := func(seq xdm.Sequence) string {
+		var out []string
+		for _, it := range seq {
+			out = append(out, it.Node().Name())
+		}
+		return strings.Join(out, ",")
+	}
+	// (b/c)+ from <a>: b/c pairs nested twice
+	if got := names(evalRX(t, `a/(b/c)+`, treeXML)); got != "c,c" {
+		t.Errorf("a/(b/c)+ = %s, want c,c", got)
+	}
+	// descendant closure via child+ equals descendant::*
+	plus := evalRX(t, `a/(*)+ | a`, treeXML)
+	desc := evalRX(t, `a/descendant::* | a`, treeXML)
+	if len(plus) != len(desc) {
+		t.Errorf("(*)+ = %d nodes, descendant::* = %d", len(plus), len(desc))
+	}
+	// evalRX parses the document per call, so compare positions, not
+	// identities.
+	for i := range plus {
+		if plus[i].Node().Pre != desc[i].Node().Pre {
+			t.Errorf("closure and descendant disagree at %d: pre %d vs %d",
+				i, plus[i].Node().Pre, desc[i].Node().Pre)
+		}
+	}
+	// a* includes the context node
+	star := evalRX(t, `a*`, treeXML)
+	if len(star) != 2 { // document node + a
+		t.Errorf("a* = %d nodes, want 2 (doc, a)", len(star))
+	}
+	// filters
+	if got := names(evalRX(t, `a/b[c]`, treeXML)); got != "b" {
+		t.Errorf("a/b[c] = %s, want b", got)
+	}
+}
+
+// TestClosureBodiesAreDistributive: translations of + and * always carry
+// fixpoint bodies certified by the syntactic check — the Regular XPath
+// guarantee of §3.1.
+func TestClosureBodiesAreDistributive(t *testing.T) {
+	for _, rx := range []string{`a+`, `(a/b)+`, `(a | b)+`, `a/(b/c)*/d`, `descendant::x+`} {
+		p, err := Parse(rx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		ast.Walk(p.Expr(), func(e ast.Expr) bool {
+			if fp, ok := e.(*ast.Fixpoint); ok {
+				found = true
+				if !dist.Safe(fp.Body, fp.Var, dist.ModuleResolver(nil)) {
+					t.Errorf("%q: closure body not distributivity-safe: %s", rx, ast.Format(fp.Body))
+				}
+			}
+			return true
+		})
+		if !found {
+			t.Errorf("%q contains no fixpoint", rx)
+		}
+	}
+}

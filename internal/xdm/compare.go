@@ -1,0 +1,191 @@
+package xdm
+
+// CompOp enumerates comparison operators shared by value comparisons
+// (eq ne lt le gt ge) and general comparisons (= != < <= > >=).
+type CompOp uint8
+
+// Comparison operators.
+const (
+	OpEq CompOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String returns the value-comparison spelling.
+func (op CompOp) String() string {
+	switch op {
+	case OpEq:
+		return "eq"
+	case OpNe:
+		return "ne"
+	case OpLt:
+		return "lt"
+	case OpLe:
+		return "le"
+	case OpGt:
+		return "gt"
+	case OpGe:
+		return "ge"
+	}
+	return "?"
+}
+
+// GeneralString returns the general-comparison spelling.
+func (op CompOp) GeneralString() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// CompareValues compares two atomized items under value-comparison
+// semantics: numeric types are promoted to xs:double when mixed; untyped
+// operands are treated as strings against strings/untyped and as doubles
+// against numerics; booleans compare only with booleans. Comparing a node
+// item is a type error (callers atomize first).
+func CompareValues(x, y Item, op CompOp) (bool, error) {
+	if x.IsNode() || y.IsNode() {
+		return false, NewError(ErrType, "value comparison over un-atomized node")
+	}
+	xv, yv, err := promote(x, y)
+	if err != nil {
+		return false, err
+	}
+	switch xv.Kind() {
+	case KBoolean:
+		return compareOrdered(boolRank(xv.Bool()), boolRank(yv.Bool()), op), nil
+	case KInteger:
+		return compareOrdered(xv.Int(), yv.Int(), op), nil
+	case KDouble:
+		a, b := xv.Float(), yv.Float()
+		if a != a || b != b { // NaN comparisons are false except ne
+			return op == OpNe, nil
+		}
+		return compareOrdered(a, b, op), nil
+	default:
+		return compareOrdered(xv.StringValue(), yv.StringValue(), op), nil
+	}
+}
+
+// GeneralCompareItems compares one pair under general-comparison promotion:
+// untyped vs numeric casts the untyped operand to xs:double (an uncastable
+// string raises FORG0001), untyped vs anything else compares as strings.
+func GeneralCompareItems(x, y Item, op CompOp) (bool, error) {
+	x, y = AtomizeItem(x), AtomizeItem(y)
+	if x.Kind() == KUntyped && y.IsNumeric() {
+		f, err := ParseDouble(trimWS(x.StringValue()))
+		if err != nil {
+			return false, NewError(ErrCast, "cannot cast "+x.StringValue()+" to xs:double")
+		}
+		x = NewDouble(f)
+	}
+	if y.Kind() == KUntyped && x.IsNumeric() {
+		f, err := ParseDouble(trimWS(y.StringValue()))
+		if err != nil {
+			return false, NewError(ErrCast, "cannot cast "+y.StringValue()+" to xs:double")
+		}
+		y = NewDouble(f)
+	}
+	if x.Kind() == KUntyped {
+		x = NewString(x.StringValue())
+	}
+	if y.Kind() == KUntyped {
+		y = NewString(y.StringValue())
+	}
+	return CompareValues(x, y, op)
+}
+
+// GeneralCompare implements general comparisons over sequences: true iff
+// some pair of items from the two atomized sequences satisfies the
+// comparison (existential semantics, §3.2 of the paper's discussion of why
+// `$x = 10` inspects the whole sequence).
+func GeneralCompare(a, b Sequence, op CompOp) (bool, error) {
+	for _, x := range a {
+		for _, y := range b {
+			ok, err := GeneralCompareItems(x, y, op)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// promote applies value-comparison type promotion to a pair of non-node
+// items and returns operands of one common kind.
+func promote(x, y Item) (Item, Item, error) {
+	// untypedAtomic behaves as string in value comparisons.
+	if x.Kind() == KUntyped {
+		x = NewString(x.StringValue())
+	}
+	if y.Kind() == KUntyped {
+		y = NewString(y.StringValue())
+	}
+	if x.Kind() == y.Kind() {
+		return x, y, nil
+	}
+	if x.IsNumeric() && y.IsNumeric() {
+		return NewDouble(x.NumberValue()), NewDouble(y.NumberValue()), nil
+	}
+	return Item{}, Item{}, NewError(ErrType,
+		"cannot compare "+x.Kind().String()+" with "+y.Kind().String())
+}
+
+func boolRank(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type ordered interface {
+	~int | ~int64 | ~float64 | ~string
+}
+
+func compareOrdered[T ordered](a, b T, op CompOp) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	}
+	return false
+}
+
+func trimWS(s string) string {
+	start, end := 0, len(s)
+	for start < end && isXMLSpace(s[start]) {
+		start++
+	}
+	for end > start && isXMLSpace(s[end-1]) {
+		end--
+	}
+	return s[start:end]
+}
+
+func isXMLSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }

@@ -1,0 +1,48 @@
+package xdm
+
+import "fmt"
+
+// ErrCode is an XQuery error code (W3C err: codes where applicable).
+type ErrCode string
+
+// Error codes used across the engines.
+const (
+	ErrType     ErrCode = "XPTY0004" // static/dynamic type error
+	ErrEBV      ErrCode = "FORG0006" // invalid argument (effective boolean value)
+	ErrCast     ErrCode = "FORG0001" // invalid value for cast
+	ErrCtxItem  ErrCode = "XPDY0002" // context item undefined
+	ErrUndefVar ErrCode = "XPST0008" // undefined variable/function
+	ErrArity    ErrCode = "XPST0017" // wrong number of arguments
+	ErrDivZero  ErrCode = "FOAR0001" // division by zero
+	ErrDoc      ErrCode = "FODC0002" // error retrieving resource
+	ErrUserFail ErrCode = "FOER0000" // fn:error
+	ErrIFP      ErrCode = "IFPX0001" // inflationary fixed point diverged / misuse
+	ErrSyntax   ErrCode = "XPST0003" // grammar error
+	ErrCard     ErrCode = "XPTY0005" // cardinality violation
+)
+
+// Error is an XQuery evaluation or analysis error carrying a W3C-style code.
+type Error struct {
+	Code ErrCode
+	Msg  string
+}
+
+// NewError builds an Error with the given code and message.
+func NewError(code ErrCode, msg string) *Error { return &Error{Code: code, Msg: msg} }
+
+// Errorf builds an Error with a formatted message.
+func Errorf(code ErrCode, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("[%s] %s", e.Code, e.Msg) }
+
+// CodeOf extracts the error code from an error, or "" if it is not an
+// XQuery Error.
+func CodeOf(err error) ErrCode {
+	if xe, ok := err.(*Error); ok {
+		return xe.Code
+	}
+	return ""
+}

@@ -1,0 +1,167 @@
+// Package xmldoc parses XML documents into xdm node stores and serializes
+// nodes back to XML text. It includes a minimal internal-DTD scan that
+// recognizes `<!ATTLIST elem attr ID …>` declarations so that fn:id works
+// against DTD-typed documents such as the paper's curriculum data
+// (Figure 1: `<!ATTLIST course code ID #REQUIRED>`).
+package xmldoc
+
+import (
+	"encoding/xml"
+	"io"
+	"strings"
+
+	"repro/internal/xdm"
+)
+
+// Options control parsing.
+type Options struct {
+	// StripWhitespace drops whitespace-only text nodes (boundary
+	// whitespace), which is what the paper's bulk-loaded instances look
+	// like in MonetDB/XQuery.
+	StripWhitespace bool
+	// IsID reports extra (element, attribute) pairs to be treated as ID
+	// attributes, in addition to DTD-declared IDs and xml:id.
+	IsID func(elem, attr string) bool
+}
+
+// Parse reads an XML document into a new xdm.Document with the given URI,
+// using default options.
+func Parse(r io.Reader, uri string) (*xdm.Document, error) {
+	return ParseOpts(r, uri, Options{})
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s, uri string) (*xdm.Document, error) {
+	return Parse(strings.NewReader(s), uri)
+}
+
+// ParseStringOpts parses a string with explicit options.
+func ParseStringOpts(s, uri string, opts Options) (*xdm.Document, error) {
+	return ParseOpts(strings.NewReader(s), uri, opts)
+}
+
+// ParseOpts reads an XML document with explicit options.
+func ParseOpts(r io.Reader, uri string, opts Options) (*xdm.Document, error) {
+	dec := xml.NewDecoder(r)
+	dec.Strict = true
+	b := xdm.NewBuilder(uri)
+	idAttrs := map[[2]string]bool{} // {elem, attr} -> is ID
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, xdm.Errorf(xdm.ErrDoc, "parse %s: %v", uri, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			b.StartElement(t.Name.Local)
+			depth++
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				name := a.Name.Local
+				if a.Name.Local == "id" &&
+					(a.Name.Space == "xml" || a.Name.Space == "http://www.w3.org/XML/1998/namespace") {
+					name = "xml:id"
+				}
+				b.Attribute(name, a.Value)
+				if isIDAttr(idAttrs, t.Name.Local, name, opts) {
+					b.RegisterID(strings.TrimSpace(a.Value))
+				}
+			}
+		case xml.EndElement:
+			b.EndElement()
+			depth--
+		case xml.CharData:
+			s := string(t)
+			if opts.StripWhitespace && strings.TrimSpace(s) == "" {
+				continue
+			}
+			if depth > 0 { // ignore whitespace outside the root element
+				b.Text(s)
+			}
+		case xml.Comment:
+			if depth > 0 {
+				b.Comment(string(t))
+			}
+		case xml.ProcInst:
+			if depth > 0 {
+				b.PI(t.Target, string(t.Inst))
+			}
+		case xml.Directive:
+			scanDTDForIDs(string(t), idAttrs)
+		}
+	}
+	if depth != 0 {
+		return nil, xdm.Errorf(xdm.ErrDoc, "parse %s: unbalanced document", uri)
+	}
+	doc := b.Done()
+	for _, c := range doc.Root().Children() {
+		if c.Kind() == xdm.ElementNode {
+			return doc, nil
+		}
+	}
+	return nil, xdm.Errorf(xdm.ErrDoc, "parse %s: no document element", uri)
+}
+
+func isIDAttr(dtd map[[2]string]bool, elem, attr string, opts Options) bool {
+	if attr == "xml:id" {
+		return true
+	}
+	if dtd[[2]string{elem, attr}] {
+		return true
+	}
+	if opts.IsID != nil && opts.IsID(elem, attr) {
+		return true
+	}
+	return false
+}
+
+// scanDTDForIDs extracts `<!ATTLIST elem attr ID …>` declarations from the
+// internal DTD subset text carried by an xml.Directive. It understands the
+// common single-attribute form and multi-attribute ATTLIST bodies.
+func scanDTDForIDs(directive string, out map[[2]string]bool) {
+	s := directive
+	for {
+		i := strings.Index(s, "ATTLIST")
+		if i < 0 {
+			return
+		}
+		s = s[i+len("ATTLIST"):]
+		// The ATTLIST body runs until the next '>' (entities with '>' in
+		// defaults are out of scope for this subset).
+		end := strings.IndexByte(s, '>')
+		body := s
+		if end >= 0 {
+			body = s[:end]
+			s = s[end+1:]
+		} else {
+			s = ""
+		}
+		fields := strings.Fields(body)
+		if len(fields) < 3 {
+			continue
+		}
+		elem := fields[0]
+		// Walk attr/type/default triples; defaults may be #REQUIRED,
+		// #IMPLIED, #FIXED value, or a quoted literal.
+		for i := 1; i+1 < len(fields); {
+			attr, typ := fields[i], fields[i+1]
+			if typ == "ID" {
+				out[[2]string{elem, attr}] = true
+			}
+			i += 2
+			if i < len(fields) {
+				if fields[i] == "#FIXED" {
+					i += 2
+				} else if strings.HasPrefix(fields[i], "#") || strings.HasPrefix(fields[i], "\"") || strings.HasPrefix(fields[i], "'") {
+					i++
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package xmldoc
+
+import (
+	"strings"
+
+	"repro/internal/xdm"
+)
+
+// Serialize renders a node back to XML text. Document nodes serialize their
+// children; attribute nodes serialize as name="value".
+func Serialize(n xdm.NodeRef) string {
+	var sb strings.Builder
+	serializeNode(&sb, n)
+	return sb.String()
+}
+
+// SerializeSequence renders an item sequence the way an XQuery serializer
+// does: adjacent atomic values are separated by single spaces, nodes are
+// serialized as XML. Adjacent attribute nodes (a diagnostic rendering —
+// the W3C serialization would reject them) are space-separated as well.
+func SerializeSequence(s xdm.Sequence) string {
+	var sb strings.Builder
+	prevAtomic, prevAttr := false, false
+	for _, it := range s {
+		if it.IsNode() {
+			isAttr := it.Node().Kind() == xdm.AttributeNode
+			if isAttr && prevAttr {
+				sb.WriteByte(' ')
+			}
+			serializeNode(&sb, it.Node())
+			prevAtomic, prevAttr = false, isAttr
+			continue
+		}
+		if prevAtomic {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(it.StringValue())
+		prevAtomic, prevAttr = true, false
+	}
+	return sb.String()
+}
+
+func serializeNode(sb *strings.Builder, n xdm.NodeRef) {
+	switch n.Kind() {
+	case xdm.DocumentNode:
+		for _, c := range n.Children() {
+			serializeNode(sb, c)
+		}
+	case xdm.ElementNode:
+		sb.WriteByte('<')
+		sb.WriteString(n.Name())
+		for _, a := range n.Attributes() {
+			sb.WriteByte(' ')
+			sb.WriteString(a.Name())
+			sb.WriteString(`="`)
+			escapeAttr(sb, a.Value())
+			sb.WriteByte('"')
+		}
+		children := n.Children()
+		if len(children) == 0 {
+			sb.WriteString("/>")
+			return
+		}
+		sb.WriteByte('>')
+		for _, c := range children {
+			serializeNode(sb, c)
+		}
+		sb.WriteString("</")
+		sb.WriteString(n.Name())
+		sb.WriteByte('>')
+	case xdm.TextNode:
+		escapeText(sb, n.Value())
+	case xdm.AttributeNode:
+		sb.WriteString(n.Name())
+		sb.WriteString(`="`)
+		escapeAttr(sb, n.Value())
+		sb.WriteByte('"')
+	case xdm.CommentNode:
+		sb.WriteString("<!--")
+		sb.WriteString(n.Value())
+		sb.WriteString("-->")
+	case xdm.PINode:
+		sb.WriteString("<?")
+		sb.WriteString(n.Name())
+		if v := n.Value(); v != "" {
+			sb.WriteByte(' ')
+			sb.WriteString(v)
+		}
+		sb.WriteString("?>")
+	}
+}
+
+func escapeText(sb *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+}
+
+func escapeAttr(sb *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '"':
+			sb.WriteString("&quot;")
+		default:
+			sb.WriteByte(s[i])
+		}
+	}
+}

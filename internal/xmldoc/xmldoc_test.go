@@ -1,0 +1,129 @@
+package xmldoc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xdm"
+)
+
+func TestParseAndSerializeRoundTrip(t *testing.T) {
+	cases := []string{
+		`<a/>`,
+		`<a b="1" c="x&amp;y"/>`,
+		`<a>text</a>`,
+		`<a><b>x</b><c/>tail</a>`,
+		`<a>&lt;escaped&gt;</a>`,
+		`<a><!--comment--><?pi data?></a>`,
+	}
+	for _, src := range cases {
+		doc, err := ParseString(src, "t.xml")
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if got := Serialize(doc.Root()); got != src {
+			t.Errorf("round trip %q = %q", src, got)
+		}
+	}
+}
+
+func TestDTDIDScan(t *testing.T) {
+	src := `<!DOCTYPE curriculum [
+<!ELEMENT curriculum (course)*>
+<!ATTLIST course code ID #REQUIRED>
+<!ATTLIST person name CDATA #IMPLIED id ID #REQUIRED>
+]>
+<curriculum><course code="c1"/><person name="n" id="p1"/></curriculum>`
+	doc, err := ParseString(src, "t.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := doc.ByID("c1"); !ok || n.Name() != "course" {
+		t.Errorf("course ID not registered")
+	}
+	if n, ok := doc.ByID("p1"); !ok || n.Name() != "person" {
+		t.Errorf("multi-attribute ATTLIST ID not registered")
+	}
+	if _, ok := doc.ByID("n"); ok {
+		t.Errorf("CDATA attribute wrongly registered as ID")
+	}
+}
+
+func TestXMLIDConvention(t *testing.T) {
+	doc, err := ParseString(`<r xmlns:x="u"><e xml:id="e1"/></r>`, "t.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc.ByID("e1"); !ok {
+		t.Errorf("xml:id not registered")
+	}
+}
+
+func TestCustomIDHook(t *testing.T) {
+	doc, err := ParseStringOpts(`<r><p key="k1"/></r>`, "t.xml", Options{
+		IsID: func(elem, attr string) bool { return elem == "p" && attr == "key" },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc.ByID("k1"); !ok {
+		t.Errorf("IsID hook ignored")
+	}
+}
+
+func TestStripWhitespace(t *testing.T) {
+	src := "<a>\n  <b/>\n  <c/>\n</a>"
+	keep, _ := ParseString(src, "t.xml")
+	strip, _ := ParseStringOpts(src, "t.xml", Options{StripWhitespace: true})
+	kids := func(d *xdm.Document) int {
+		root := d.Root().Children()[0]
+		return len(root.Children())
+	}
+	if kids(keep) != 5 { // text, b, text, c, text
+		t.Errorf("preserved children = %d, want 5", kids(keep))
+	}
+	if kids(strip) != 2 {
+		t.Errorf("stripped children = %d, want 2", kids(strip))
+	}
+}
+
+func TestAdjacentTextMerges(t *testing.T) {
+	doc, err := ParseString(`<a>x&amp;y</a>`, "t.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.Root().Children()[0]
+	if len(root.Children()) != 1 {
+		t.Errorf("entity-split text not merged: %d children", len(root.Children()))
+	}
+	if root.StringValue() != "x&y" {
+		t.Errorf("string value = %q", root.StringValue())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{`<a>`, `<a></b>`, `plain`, `<a attr=></a>`} {
+		if _, err := ParseString(src, "bad.xml"); err == nil {
+			t.Errorf("parse %q: expected error", src)
+		} else if xdm.CodeOf(err) != xdm.ErrDoc {
+			t.Errorf("parse %q: error code %v, want FODC0002", src, xdm.CodeOf(err))
+		}
+	}
+}
+
+func TestSerializeSequence(t *testing.T) {
+	doc, _ := ParseString(`<a x="1"><b/></a>`, "t.xml")
+	root := doc.Root().Children()[0]
+	seq := xdm.Sequence{
+		xdm.NewInteger(1), xdm.NewInteger(2),
+		xdm.NewNode(root.Children()[0]),
+		xdm.NewString("s"),
+	}
+	if got := SerializeSequence(seq); got != `1 2<b/>s` {
+		t.Errorf("sequence serialization = %q", got)
+	}
+	attrs := xdm.NodeSeq(root.Attributes())
+	if got := SerializeSequence(append(attrs, attrs...)); !strings.Contains(got, `x="1" x="1"`) {
+		t.Errorf("adjacent attributes not space-separated: %q", got)
+	}
+}

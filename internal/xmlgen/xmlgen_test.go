@@ -1,0 +1,146 @@
+package xmlgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xmldoc"
+)
+
+func TestAuctionShape(t *testing.T) {
+	cfg := AuctionConfig{People: 20, OpenAuctions: 10, MaxBiddersPerAuction: 3, Seed: 1}
+	xml := Auction(cfg)
+	doc, err := xmldoc.ParseString(xml, "a.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.IDs() != 20 {
+		t.Errorf("person IDs registered = %d, want 20", doc.IDs())
+	}
+	if got := strings.Count(xml, "<open_auction id="); got != 10 {
+		t.Errorf("auctions = %d, want 10", got)
+	}
+	if got := strings.Count(xml, "<seller"); got != 10 {
+		t.Errorf("sellers = %d, want 10", got)
+	}
+	if strings.Count(xml, "<bidder>") < 10 {
+		t.Errorf("every auction needs at least one bidder")
+	}
+	// determinism
+	if Auction(cfg) != xml {
+		t.Errorf("generator is not deterministic")
+	}
+	if Auction(AuctionConfig{People: 20, OpenAuctions: 10, MaxBiddersPerAuction: 3, Seed: 2}) == xml {
+		t.Errorf("seed has no effect")
+	}
+}
+
+func TestFromScale(t *testing.T) {
+	cfg := FromScale(0.01)
+	if cfg.People != 255 || cfg.OpenAuctions != 120 {
+		t.Errorf("FromScale(0.01) = %+v, want XMark proportions", cfg)
+	}
+	tiny := FromScale(0.00001)
+	if tiny.People < 10 || tiny.OpenAuctions < 5 {
+		t.Errorf("FromScale floor broken: %+v", tiny)
+	}
+}
+
+func TestCurriculumShape(t *testing.T) {
+	xml := Curriculum(CurriculumSized(100))
+	doc, err := xmldoc.ParseString(xml, "c.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(xml, "<course "); got != 100 {
+		t.Errorf("courses = %d, want 100", got)
+	}
+	// the DTD ATTLIST declaration must register course codes as IDs
+	if doc.IDs() != 100 {
+		t.Errorf("registered IDs = %d, want 100", doc.IDs())
+	}
+	if _, ok := doc.ByID("c0"); !ok {
+		t.Errorf("course c0 not resolvable by ID")
+	}
+	// every pre_code references an existing course
+	for _, frag := range strings.Split(xml, "<pre_code>")[1:] {
+		code := frag[:strings.Index(frag, "</pre_code>")]
+		if _, ok := doc.ByID(code); !ok {
+			t.Errorf("dangling prerequisite %q", code)
+		}
+	}
+}
+
+func TestHospitalShape(t *testing.T) {
+	xml := Hospital(HospitalSized(500))
+	if got := strings.Count(xml, "<patient "); got != 500 {
+		t.Errorf("patient records = %d, want exactly 500", got)
+	}
+	if !strings.Contains(xml, "<diagnosis>hd</diagnosis>") {
+		t.Errorf("no diseased patients generated")
+	}
+	if _, err := xmldoc.ParseString(xml, "h.xml"); err != nil {
+		t.Fatal(err)
+	}
+	// nesting depth bounded: parents chains of <patient> at most Depth deep
+	depth, maxDepth := 0, 0
+	for i := 0; i < len(xml); i++ {
+		if strings.HasPrefix(xml[i:], "<patient ") {
+			depth++
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		}
+		if strings.HasPrefix(xml[i:], "</patient>") {
+			depth--
+		}
+	}
+	if maxDepth > 5 {
+		t.Errorf("pedigree depth %d exceeds 5", maxDepth)
+	}
+}
+
+func TestPlayShape(t *testing.T) {
+	xml := Play(PlaySized())
+	doc, err := xmldoc.ParseString(xml, "p.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = doc
+	if got := strings.Count(xml, "<ACT>"); got != 5 {
+		t.Errorf("acts = %d, want 5", got)
+	}
+	speeches := strings.Count(xml, "<SPEECH>")
+	if speeches < 500 {
+		t.Errorf("speeches = %d, want hundreds (Romeo and Juliet scale)", speeches)
+	}
+	// The pinned longest alternating run exists: MaxDialogRun consecutive
+	// speeches with strictly alternating speakers somewhere in the text.
+	if longestAlternation(xml) < PlaySized().MaxDialogRun {
+		t.Errorf("longest alternating run %d < configured %d",
+			longestAlternation(xml), PlaySized().MaxDialogRun)
+	}
+}
+
+// longestAlternation scans speaker sequences per scene.
+func longestAlternation(xml string) int {
+	best := 0
+	for _, scene := range strings.Split(xml, "<SCENE>")[1:] {
+		var speakers []string
+		for _, frag := range strings.Split(scene, "<SPEAKER>")[1:] {
+			speakers = append(speakers, frag[:strings.Index(frag, "</SPEAKER>")])
+		}
+		run := 1
+		for i := 1; i < len(speakers); i++ {
+			if speakers[i] != speakers[i-1] {
+				run++
+			} else {
+				run = 1
+			}
+			if run > best {
+				best = run
+			}
+		}
+	}
+	return best
+}

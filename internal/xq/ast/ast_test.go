@@ -1,0 +1,88 @@
+package ast
+
+import "testing"
+
+func TestCopyIsDeep(t *testing.T) {
+	orig := &For{Var: "v", In: &VarRef{Name: "s"},
+		Body: &Binary{Op: OpAdd, L: &VarRef{Name: "v"}, R: &Literal{Kind: LitInteger, Int: 1}}}
+	cp := Copy(orig).(*For)
+	if cp == orig || cp.Body == orig.Body {
+		t.Fatal("Copy shares composite nodes")
+	}
+	cp.Var = "w"
+	if orig.Var != "v" {
+		t.Fatal("Copy aliases the original")
+	}
+	if Format(orig) != "for $v in $s return $v + 1" {
+		t.Fatalf("original mutated: %s", Format(orig))
+	}
+}
+
+func TestWalkOrderAndPruning(t *testing.T) {
+	e := &Slash{L: &VarRef{Name: "a"}, R: &AxisStep{Axis: AxisChild,
+		Test: NodeTest{Kind: TestName, Name: "b"}, Preds: []Expr{&Literal{Kind: LitInteger, Int: 1}}}}
+	var kinds []string
+	Walk(e, func(x Expr) bool {
+		switch x.(type) {
+		case *Slash:
+			kinds = append(kinds, "slash")
+		case *VarRef:
+			kinds = append(kinds, "var")
+		case *AxisStep:
+			kinds = append(kinds, "step")
+			return false // prune: predicate literal not visited
+		case *Literal:
+			kinds = append(kinds, "lit")
+		}
+		return true
+	})
+	if len(kinds) != 3 || kinds[0] != "slash" || kinds[2] != "step" {
+		t.Errorf("walk order/pruning wrong: %v", kinds)
+	}
+}
+
+func TestContainsConstructor(t *testing.T) {
+	with := &Fixpoint{Var: "x", Seed: &VarRef{Name: "s"},
+		Body: &ElemCtor{Name: "a"}}
+	if !ContainsConstructor(with) {
+		t.Error("constructor in fixpoint body not found")
+	}
+	if ContainsConstructor(&VarRef{Name: "x"}) {
+		t.Error("false positive")
+	}
+}
+
+func TestAxisAndTestStrings(t *testing.T) {
+	if AxisDescendantOrSelf.String() != "descendant-or-self" {
+		t.Errorf("axis name wrong")
+	}
+	if !AxisAncestor.Reverse() || AxisChild.Reverse() {
+		t.Errorf("reverse axis classification wrong")
+	}
+	tests := map[string]NodeTest{
+		"node()":     {Kind: TestAnyKind},
+		"text()":     {Kind: TestText},
+		"element(a)": {Kind: TestElement, Name: "a"},
+		"*":          {Kind: TestName, Name: "*"},
+	}
+	for want, nt := range tests {
+		if nt.String() != want {
+			t.Errorf("test string %q != %q", nt.String(), want)
+		}
+	}
+}
+
+func TestSeqTypeString(t *testing.T) {
+	cases := map[string]SeqType{
+		"node()*":          {Occ: OccStar, Item: ITNode},
+		"xs:integer":       {Item: ITInteger},
+		"element(x)+":      {Occ: OccPlus, Item: ITElement, Name: "x"},
+		"empty-sequence()": {Occ: OccEmpty},
+		"item()?":          {Occ: OccOptional, Item: ITItem},
+	}
+	for want, st := range cases {
+		if st.String() != want {
+			t.Errorf("SeqType = %q, want %q", st.String(), want)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Format renders an expression back to XQuery source. The output
+// re-parses to an equivalent AST (used by round-trip tests and the
+// distributivity-hint rewriter).
+func Format(e Expr) string {
+	var sb strings.Builder
+	printExpr(&sb, e, 0)
+	return sb.String()
+}
+
+// FormatModule renders a whole module (prolog + body).
+func FormatModule(m *Module) string {
+	var sb strings.Builder
+	for _, v := range m.Vars {
+		fmt.Fprintf(&sb, "declare variable $%s := %s;\n", v.Name, Format(v.Value))
+	}
+	for _, f := range m.Funcs {
+		fmt.Fprintf(&sb, "declare function %s(", f.Name)
+		for i, p := range f.Params {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("$" + p.Name)
+			if p.Type != nil {
+				sb.WriteString(" as " + p.Type.String())
+			}
+		}
+		sb.WriteString(")")
+		if f.Return != nil {
+			sb.WriteString(" as " + f.Return.String())
+		}
+		sb.WriteString(" { ")
+		sb.WriteString(Format(f.Body))
+		sb.WriteString(" };\n")
+	}
+	sb.WriteString(Format(m.Body))
+	return sb.String()
+}
+
+// prec assigns a precedence level used to decide parenthesization.
+func prec(e Expr) int {
+	switch x := e.(type) {
+	case *Seq:
+		switch len(x.Items) {
+		case 0:
+			return 13 // prints atomically as ()
+		case 1:
+			return prec(x.Items[0])
+		}
+		return 1
+	case *For, *Let, *If, *Quantified, *TypeSwitch, *Fixpoint:
+		return 2
+	case *Binary:
+		switch x.Op {
+		case OpOr:
+			return 3
+		case OpAnd:
+			return 4
+		case OpTo:
+			return 6
+		case OpAdd, OpSub:
+			return 7
+		case OpMul, OpDiv, OpIDiv, OpMod:
+			return 8
+		case OpUnion:
+			return 9
+		case OpIntersect, OpExcept:
+			return 10
+		default: // comparisons
+			return 5
+		}
+	case *Unary:
+		return 11
+	case *Slash:
+		return 12
+	}
+	return 13 // primaries, steps, filters
+}
+
+func printChild(sb *strings.Builder, e Expr, min int) {
+	if prec(e) < min {
+		sb.WriteByte('(')
+		printExpr(sb, e, 0)
+		sb.WriteByte(')')
+		return
+	}
+	printExpr(sb, e, 0)
+}
+
+func printExpr(sb *strings.Builder, e Expr, _ int) {
+	switch x := e.(type) {
+	case nil:
+		sb.WriteString("()")
+	case *Literal:
+		switch x.Kind {
+		case LitInteger:
+			sb.WriteString(strconv.FormatInt(x.Int, 10))
+		case LitDouble:
+			s := strconv.FormatFloat(x.Float, 'g', -1, 64)
+			if !strings.ContainsAny(s, ".eE") {
+				s += ".0"
+			}
+			sb.WriteString(s)
+		case LitString:
+			sb.WriteByte('"')
+			sb.WriteString(strings.ReplaceAll(strings.ReplaceAll(strings.ReplaceAll(
+				x.Str, "&", "&amp;"), `"`, "&quot;"), "<", "&lt;"))
+			sb.WriteByte('"')
+		}
+	case *VarRef:
+		sb.WriteString("$" + x.Name)
+	case *ContextItem:
+		sb.WriteByte('.')
+	case *RootExpr:
+		sb.WriteString("fn:root(self::node())")
+	case *Seq:
+		if len(x.Items) == 0 {
+			sb.WriteString("()")
+			return
+		}
+		if len(x.Items) == 1 {
+			printExpr(sb, x.Items[0], 0)
+			return
+		}
+		sb.WriteByte('(')
+		for i, it := range x.Items {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printChild(sb, it, 2)
+		}
+		sb.WriteByte(')')
+	case *For:
+		sb.WriteString("for $" + x.Var)
+		if x.Pos != "" {
+			sb.WriteString(" at $" + x.Pos)
+		}
+		sb.WriteString(" in ")
+		printChild(sb, x.In, 2)
+		if x.OrderBy != nil {
+			sb.WriteString(" order by ")
+			printChild(sb, x.OrderBy.Key, 2)
+			if x.OrderBy.Descending {
+				sb.WriteString(" descending")
+			}
+		}
+		sb.WriteString(" return ")
+		printChild(sb, x.Body, 2)
+	case *Let:
+		sb.WriteString("let $" + x.Var + " := ")
+		printChild(sb, x.Value, 2)
+		sb.WriteString(" return ")
+		printChild(sb, x.Body, 2)
+	case *Quantified:
+		if x.Every {
+			sb.WriteString("every $")
+		} else {
+			sb.WriteString("some $")
+		}
+		sb.WriteString(x.Var + " in ")
+		printChild(sb, x.In, 2)
+		sb.WriteString(" satisfies ")
+		printChild(sb, x.Cond, 2)
+	case *If:
+		sb.WriteString("if (")
+		printExpr(sb, x.Cond, 0)
+		sb.WriteString(") then ")
+		printChild(sb, x.Then, 2)
+		sb.WriteString(" else ")
+		printChild(sb, x.Else, 2)
+	case *Binary:
+		p := prec(e)
+		printChild(sb, x.L, p)
+		sb.WriteString(" " + x.Op.String() + " ")
+		printChild(sb, x.R, p+1)
+	case *Unary:
+		sb.WriteString("-")
+		printChild(sb, x.E, 12)
+	case *Slash:
+		// Leading-/ paths print from the RootExpr form naturally.
+		if _, isRoot := x.L.(*RootExpr); isRoot {
+			sb.WriteByte('/')
+			printChild(sb, x.R, 13)
+			return
+		}
+		printChild(sb, x.L, 12)
+		sb.WriteByte('/')
+		printChild(sb, x.R, 13)
+	case *AxisStep:
+		if x.Axis == AxisAttribute && x.Test.Kind == TestName {
+			sb.WriteString("@" + x.Test.Name)
+		} else if x.Axis == AxisChild && x.Test.Kind != TestAttr {
+			sb.WriteString(x.Test.String())
+		} else {
+			sb.WriteString(x.Axis.String() + "::" + x.Test.String())
+		}
+		printPreds(sb, x.Preds)
+	case *Filter:
+		printChild(sb, x.E, 13)
+		printPreds(sb, x.Preds)
+	case *FuncCall:
+		sb.WriteString(x.Name + "(")
+		for i, a := range x.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printChild(sb, a, 2)
+		}
+		sb.WriteByte(')')
+	case *ElemCtor:
+		sb.WriteString("element ")
+		if x.NameExpr != nil {
+			sb.WriteString("{ ")
+			printExpr(sb, x.NameExpr, 0)
+			sb.WriteString(" }")
+		} else {
+			sb.WriteString(x.Name)
+		}
+		sb.WriteString(" { ")
+		first := true
+		for _, a := range x.Attrs {
+			if !first {
+				sb.WriteString(", ")
+			}
+			first = false
+			printExpr(sb, a, 0)
+		}
+		for _, c := range x.Content {
+			if !first {
+				sb.WriteString(", ")
+			}
+			first = false
+			printChild(sb, c, 2)
+		}
+		sb.WriteString(" }")
+	case *AttrCtor:
+		sb.WriteString("attribute ")
+		if x.NameExpr != nil {
+			sb.WriteString("{ ")
+			printExpr(sb, x.NameExpr, 0)
+			sb.WriteString(" }")
+		} else {
+			sb.WriteString(x.Name)
+		}
+		sb.WriteString(" { ")
+		for i, c := range x.Content {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			printChild(sb, c, 2)
+		}
+		sb.WriteString(" }")
+	case *TextCtor:
+		sb.WriteString("text { ")
+		printExpr(sb, x.Content, 0)
+		sb.WriteString(" }")
+	case *TypeSwitch:
+		sb.WriteString("typeswitch (")
+		printExpr(sb, x.Operand, 0)
+		sb.WriteString(")")
+		for _, c := range x.Cases {
+			sb.WriteString(" case ")
+			if c.Var != "" {
+				sb.WriteString("$" + c.Var + " as ")
+			}
+			sb.WriteString(c.Type.String() + " return ")
+			printChild(sb, c.Body, 2)
+		}
+		sb.WriteString(" default ")
+		if x.DefaultVar != "" {
+			sb.WriteString("$" + x.DefaultVar + " ")
+		}
+		sb.WriteString("return ")
+		printChild(sb, x.Default, 2)
+	case *Fixpoint:
+		sb.WriteString("with $" + x.Var + " seeded by ")
+		printChild(sb, x.Seed, 2)
+		sb.WriteString(" recurse ")
+		printChild(sb, x.Body, 2)
+	default:
+		fmt.Fprintf(sb, "«%T»", e)
+	}
+}
+
+func printPreds(sb *strings.Builder, preds []Expr) {
+	for _, p := range preds {
+		sb.WriteByte('[')
+		printExpr(sb, p, 0)
+		sb.WriteByte(']')
+	}
+}

@@ -1,0 +1,303 @@
+package ast
+
+// FreeVars returns fv(e), the set of free variables of an expression, as
+// used by the paper's distributivity rules (Figure 5). Binding constructs
+// are For (Var, Pos), Let, Quantified, TypeSwitch case/default variables,
+// and Fixpoint (its recursion variable is bound in the body).
+func FreeVars(e Expr) map[string]bool {
+	out := make(map[string]bool)
+	collectFree(e, map[string]bool{}, out)
+	return out
+}
+
+// IsFree reports whether $name occurs free in e.
+func IsFree(e Expr, name string) bool { return FreeVars(e)[name] }
+
+func collectFree(e Expr, bound map[string]bool, out map[string]bool) {
+	if e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *Literal, *ContextItem, *RootExpr:
+	case *VarRef:
+		if !bound[x.Name] {
+			out[x.Name] = true
+		}
+	case *Seq:
+		for _, it := range x.Items {
+			collectFree(it, bound, out)
+		}
+	case *For:
+		collectFree(x.In, bound, out)
+		inner := withBound(bound, x.Var, x.Pos)
+		if x.OrderBy != nil {
+			collectFree(x.OrderBy.Key, inner, out)
+		}
+		collectFree(x.Body, inner, out)
+	case *Let:
+		collectFree(x.Value, bound, out)
+		collectFree(x.Body, withBound(bound, x.Var), out)
+	case *Quantified:
+		collectFree(x.In, bound, out)
+		collectFree(x.Cond, withBound(bound, x.Var), out)
+	case *If:
+		collectFree(x.Cond, bound, out)
+		collectFree(x.Then, bound, out)
+		collectFree(x.Else, bound, out)
+	case *Binary:
+		collectFree(x.L, bound, out)
+		collectFree(x.R, bound, out)
+	case *Unary:
+		collectFree(x.E, bound, out)
+	case *Slash:
+		collectFree(x.L, bound, out)
+		collectFree(x.R, bound, out)
+	case *AxisStep:
+		for _, p := range x.Preds {
+			collectFree(p, bound, out)
+		}
+	case *Filter:
+		collectFree(x.E, bound, out)
+		for _, p := range x.Preds {
+			collectFree(p, bound, out)
+		}
+	case *FuncCall:
+		for _, a := range x.Args {
+			collectFree(a, bound, out)
+		}
+	case *ElemCtor:
+		collectFree(x.NameExpr, bound, out)
+		for _, a := range x.Attrs {
+			collectFree(a, bound, out)
+		}
+		for _, c := range x.Content {
+			collectFree(c, bound, out)
+		}
+	case *AttrCtor:
+		collectFree(x.NameExpr, bound, out)
+		for _, c := range x.Content {
+			collectFree(c, bound, out)
+		}
+	case *TextCtor:
+		collectFree(x.Content, bound, out)
+	case *TypeSwitch:
+		collectFree(x.Operand, bound, out)
+		for _, c := range x.Cases {
+			collectFree(c.Body, withBound(bound, c.Var), out)
+		}
+		collectFree(x.Default, withBound(bound, x.DefaultVar), out)
+	case *Fixpoint:
+		collectFree(x.Seed, bound, out)
+		collectFree(x.Body, withBound(bound, x.Var), out)
+	}
+}
+
+func withBound(bound map[string]bool, names ...string) map[string]bool {
+	need := false
+	for _, n := range names {
+		if n != "" && !bound[n] {
+			need = true
+		}
+	}
+	if !need {
+		return bound
+	}
+	out := make(map[string]bool, len(bound)+len(names))
+	for k := range bound {
+		out[k] = true
+	}
+	for _, n := range names {
+		if n != "" {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// Children returns the direct sub-expressions of e, for generic traversal.
+func Children(e Expr) []Expr {
+	switch x := e.(type) {
+	case *Seq:
+		return x.Items
+	case *For:
+		if x.OrderBy != nil {
+			return []Expr{x.In, x.OrderBy.Key, x.Body}
+		}
+		return []Expr{x.In, x.Body}
+	case *Let:
+		return []Expr{x.Value, x.Body}
+	case *Quantified:
+		return []Expr{x.In, x.Cond}
+	case *If:
+		return []Expr{x.Cond, x.Then, x.Else}
+	case *Binary:
+		return []Expr{x.L, x.R}
+	case *Unary:
+		return []Expr{x.E}
+	case *Slash:
+		return []Expr{x.L, x.R}
+	case *AxisStep:
+		return x.Preds
+	case *Filter:
+		return append([]Expr{x.E}, x.Preds...)
+	case *FuncCall:
+		return x.Args
+	case *ElemCtor:
+		var out []Expr
+		if x.NameExpr != nil {
+			out = append(out, x.NameExpr)
+		}
+		for _, a := range x.Attrs {
+			out = append(out, a)
+		}
+		return append(out, x.Content...)
+	case *AttrCtor:
+		var out []Expr
+		if x.NameExpr != nil {
+			out = append(out, x.NameExpr)
+		}
+		return append(out, x.Content...)
+	case *TextCtor:
+		return []Expr{x.Content}
+	case *TypeSwitch:
+		out := []Expr{x.Operand}
+		for _, c := range x.Cases {
+			out = append(out, c.Body)
+		}
+		return append(out, x.Default)
+	case *Fixpoint:
+		return []Expr{x.Seed, x.Body}
+	}
+	return nil
+}
+
+// Walk calls fn on e and every descendant expression, pre-order. Walking
+// stops inside a subtree when fn returns false for its root.
+func Walk(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	for _, c := range Children(e) {
+		Walk(c, fn)
+	}
+}
+
+// ContainsConstructor reports whether e (or any function it syntactically
+// contains — callers must expand functions themselves) contains a node
+// constructor, which rules out distributivity (§3.2) and can make the IFP
+// undefined (Definition 2.1).
+func ContainsConstructor(e Expr) bool {
+	found := false
+	Walk(e, func(x Expr) bool {
+		switch x.(type) {
+		case *ElemCtor, *AttrCtor, *TextCtor:
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// Substitute returns e with every free occurrence of $name replaced by a
+// fresh copy of repl — the paper's e1[e2/$x] notation. The input is not
+// modified.
+func Substitute(e Expr, name string, repl Expr) Expr {
+	return subst(e, name, repl, map[string]bool{})
+}
+
+func subst(e Expr, name string, repl Expr, bound map[string]bool) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *Literal, *ContextItem, *RootExpr:
+		return e
+	case *VarRef:
+		if x.Name == name && !bound[name] {
+			return Copy(repl)
+		}
+		return e
+	case *Seq:
+		items := make([]Expr, len(x.Items))
+		for i, it := range x.Items {
+			items[i] = subst(it, name, repl, bound)
+		}
+		return &Seq{Items: items}
+	case *For:
+		inner := withBound(bound, x.Var, x.Pos)
+		nf := &For{Var: x.Var, Pos: x.Pos, In: subst(x.In, name, repl, bound), Body: subst(x.Body, name, repl, inner)}
+		if x.OrderBy != nil {
+			nf.OrderBy = &OrderSpec{Key: subst(x.OrderBy.Key, name, repl, inner), Descending: x.OrderBy.Descending}
+		}
+		return nf
+	case *Let:
+		return &Let{Var: x.Var, Value: subst(x.Value, name, repl, bound),
+			Body: subst(x.Body, name, repl, withBound(bound, x.Var))}
+	case *Quantified:
+		return &Quantified{Every: x.Every, Var: x.Var, In: subst(x.In, name, repl, bound),
+			Cond: subst(x.Cond, name, repl, withBound(bound, x.Var))}
+	case *If:
+		return &If{Cond: subst(x.Cond, name, repl, bound), Then: subst(x.Then, name, repl, bound),
+			Else: subst(x.Else, name, repl, bound)}
+	case *Binary:
+		return &Binary{Op: x.Op, L: subst(x.L, name, repl, bound), R: subst(x.R, name, repl, bound)}
+	case *Unary:
+		return &Unary{E: subst(x.E, name, repl, bound)}
+	case *Slash:
+		return &Slash{L: subst(x.L, name, repl, bound), R: subst(x.R, name, repl, bound)}
+	case *AxisStep:
+		preds := make([]Expr, len(x.Preds))
+		for i, p := range x.Preds {
+			preds[i] = subst(p, name, repl, bound)
+		}
+		return &AxisStep{Axis: x.Axis, Test: x.Test, Preds: preds}
+	case *Filter:
+		preds := make([]Expr, len(x.Preds))
+		for i, p := range x.Preds {
+			preds[i] = subst(p, name, repl, bound)
+		}
+		return &Filter{E: subst(x.E, name, repl, bound), Preds: preds}
+	case *FuncCall:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = subst(a, name, repl, bound)
+		}
+		return &FuncCall{Name: x.Name, Args: args}
+	case *ElemCtor:
+		attrs := make([]*AttrCtor, len(x.Attrs))
+		for i, a := range x.Attrs {
+			attrs[i] = subst(a, name, repl, bound).(*AttrCtor)
+		}
+		content := make([]Expr, len(x.Content))
+		for i, c := range x.Content {
+			content[i] = subst(c, name, repl, bound)
+		}
+		return &ElemCtor{Name: x.Name, NameExpr: subst(x.NameExpr, name, repl, bound), Attrs: attrs, Content: content}
+	case *AttrCtor:
+		content := make([]Expr, len(x.Content))
+		for i, c := range x.Content {
+			content[i] = subst(c, name, repl, bound)
+		}
+		return &AttrCtor{Name: x.Name, NameExpr: subst(x.NameExpr, name, repl, bound), Content: content}
+	case *TextCtor:
+		return &TextCtor{Content: subst(x.Content, name, repl, bound)}
+	case *TypeSwitch:
+		cases := make([]*TSCase, len(x.Cases))
+		for i, c := range x.Cases {
+			cases[i] = &TSCase{Var: c.Var, Type: c.Type, Body: subst(c.Body, name, repl, withBound(bound, c.Var))}
+		}
+		return &TypeSwitch{Operand: subst(x.Operand, name, repl, bound), Cases: cases,
+			DefaultVar: x.DefaultVar, Default: subst(x.Default, name, repl, withBound(bound, x.DefaultVar))}
+	case *Fixpoint:
+		return &Fixpoint{Var: x.Var, Seed: subst(x.Seed, name, repl, bound),
+			Body: subst(x.Body, name, repl, withBound(bound, x.Var))}
+	}
+	return e
+}
+
+// Copy deep-copies an expression tree.
+func Copy(e Expr) Expr {
+	// Substitution with a never-matching variable name performs a deep copy
+	// of every composite node; leaves are immutable and safely shared.
+	return subst(e, "\x00never", nil, map[string]bool{})
+}

@@ -1,0 +1,134 @@
+package interp
+
+import (
+	"strings"
+
+	"repro/internal/xdm"
+	"repro/internal/xq/ast"
+)
+
+// evalElemCtor constructs an element node: attributes first (direct-syntax
+// attributes, then attribute nodes at the head of the content sequence),
+// then content, with nodes deep-copied and atomic runs joined by single
+// spaces into text nodes. Each evaluation creates fresh node identities —
+// the reason constructors block distributivity (§3.2).
+func (ev *evaluator) evalElemCtor(n *ast.ElemCtor, en *env, ctx dynCtx) (xdm.Sequence, error) {
+	name, err := ev.ctorName(n.Name, n.NameExpr, en, ctx)
+	if err != nil {
+		return nil, err
+	}
+	b := xdm.NewBuilder("")
+	b.StartElement(name)
+	for _, a := range n.Attrs {
+		aname, err := ev.ctorName(a.Name, a.NameExpr, en, ctx)
+		if err != nil {
+			return nil, err
+		}
+		aval, err := ev.attrValue(a.Content, en, ctx)
+		if err != nil {
+			return nil, err
+		}
+		b.Attribute(aname, aval)
+	}
+	contentStarted := false
+	for _, ce := range n.Content {
+		seq, err := ev.eval(ce, en, ctx)
+		if err != nil {
+			return nil, err
+		}
+		var atomics []string
+		flush := func() {
+			if len(atomics) > 0 {
+				b.Text(strings.Join(atomics, " "))
+				atomics = nil
+			}
+		}
+		for _, it := range seq {
+			if !it.IsNode() {
+				atomics = append(atomics, it.StringValue())
+				contentStarted = true
+				continue
+			}
+			node := it.Node()
+			if node.Kind() == xdm.AttributeNode {
+				if contentStarted {
+					return nil, xdm.NewError("XQTY0024",
+						"attribute node follows element content in constructor")
+				}
+				b.Attribute(node.Name(), node.Value())
+				continue
+			}
+			flush()
+			contentStarted = true
+			b.CopyTree(node)
+		}
+		flush()
+	}
+	b.EndElement()
+	doc := b.Done()
+	return xdm.Singleton(xdm.NewNode(xdm.NodeRef{D: doc, Pre: 1})), nil
+}
+
+func (ev *evaluator) evalAttrCtor(n *ast.AttrCtor, en *env, ctx dynCtx) (xdm.Sequence, error) {
+	name, err := ev.ctorName(n.Name, n.NameExpr, en, ctx)
+	if err != nil {
+		return nil, err
+	}
+	val, err := ev.attrValue(n.Content, en, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return xdm.Singleton(xdm.NewNode(xdm.NewLeafDoc(xdm.AttributeNode, name, val))), nil
+}
+
+func (ev *evaluator) evalTextCtor(n *ast.TextCtor, en *env, ctx dynCtx) (xdm.Sequence, error) {
+	seq, err := ev.eval(n.Content, en, ctx)
+	if err != nil {
+		return nil, err
+	}
+	seq = xdm.Atomize(seq)
+	if len(seq) == 0 {
+		return nil, nil
+	}
+	return xdm.Singleton(xdm.NewNode(xdm.NewLeafDoc(xdm.TextNode, "", xdm.StringJoin(seq, " ")))), nil
+}
+
+// ctorName resolves a constructor name: static, or a computed name
+// expression atomizing to a single string.
+func (ev *evaluator) ctorName(static string, e ast.Expr, en *env, ctx dynCtx) (string, error) {
+	if e == nil {
+		return static, nil
+	}
+	seq, err := ev.eval(e, en, ctx)
+	if err != nil {
+		return "", err
+	}
+	seq = xdm.Atomize(seq)
+	if len(seq) != 1 {
+		return "", xdm.NewError(xdm.ErrType, "computed constructor name is not a single value")
+	}
+	name := strings.TrimSpace(seq[0].StringValue())
+	if name == "" {
+		return "", xdm.NewError(xdm.ErrType, "computed constructor name is empty")
+	}
+	return name, nil
+}
+
+// attrValue evaluates attribute content parts: literal parts concatenate
+// directly, expression parts contribute their items' string values joined
+// by single spaces.
+func (ev *evaluator) attrValue(parts []ast.Expr, en *env, ctx dynCtx) (string, error) {
+	var sb strings.Builder
+	for _, part := range parts {
+		if lit, ok := part.(*ast.Literal); ok && lit.Kind == ast.LitString {
+			sb.WriteString(lit.Str)
+			continue
+		}
+		seq, err := ev.eval(part, en, ctx)
+		if err != nil {
+			return "", err
+		}
+		sb.WriteString(xdm.StringJoin(xdm.Atomize(seq), " "))
+	}
+	return sb.String(), nil
+}

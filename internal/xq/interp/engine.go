@@ -1,0 +1,164 @@
+// Package interp is the direct, tree-at-a-time XQuery evaluator — the
+// repository's stand-in for Saxon in the paper's experiments. It evaluates
+// the LiXQuery-class AST directly over xdm node stores and computes
+// inflationary fixed points through internal/core, choosing between Naïve
+// and Delta per the syntactic distributivity check (or a forced mode).
+package interp
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/xdm"
+	"repro/internal/xq/ast"
+	"repro/internal/xq/dist"
+	"repro/internal/xq/parser"
+)
+
+// Mode selects how the engine evaluates `with … seeded by … recurse`.
+type Mode uint8
+
+// IFP evaluation modes.
+const (
+	// ModeAuto runs the syntactic distributivity check on the recursion
+	// body and picks Delta when it certifies, Naïve otherwise — the
+	// processor-in-control behaviour the paper advocates.
+	ModeAuto Mode = iota
+	// ModeNaive forces algorithm Naïve.
+	ModeNaive
+	// ModeDelta forces algorithm Delta (unsafe for non-distributive
+	// bodies; used for experiments such as reproducing Example 2.4).
+	ModeDelta
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNaive:
+		return "naive"
+	case ModeDelta:
+		return "delta"
+	}
+	return "auto"
+}
+
+// DocResolver resolves fn:doc URIs to parsed documents.
+type DocResolver func(uri string) (*xdm.Document, error)
+
+// Options configure an Engine.
+type Options struct {
+	Mode          Mode
+	MaxIterations int // fixpoint rounds; 0 = core.DefaultMaxIterations
+	MaxCallDepth  int // user-defined function recursion; 0 = 8192
+	ContextItem   *xdm.Item
+	Docs          DocResolver
+}
+
+// IFPRun reports one (aggregated) fixpoint site's execution: which
+// algorithm ran, whether the body was certified distributive, and the
+// Table 2 instrumentation counters. Fixpoints nested under for-loops
+// execute once per binding; their counters aggregate per syntactic site.
+type IFPRun struct {
+	Var          string
+	Algorithm    core.Algorithm
+	Distributive bool
+	Rule         string // Figure 5 rule or blocking reason
+	Executions   int
+	Stats        core.Stats
+}
+
+// Result is a query evaluation outcome.
+type Result struct {
+	Value   xdm.Sequence
+	IFPRuns []IFPRun
+}
+
+// Engine evaluates one parsed module.
+type Engine struct {
+	module   *ast.Module
+	opts     Options
+	docCache map[string]*xdm.Document
+}
+
+// New builds an engine for a module.
+func New(m *ast.Module, opts Options) *Engine {
+	if opts.MaxCallDepth == 0 {
+		opts.MaxCallDepth = 8192
+	}
+	return &Engine{module: m, opts: opts, docCache: map[string]*xdm.Document{}}
+}
+
+// Module returns the engine's module.
+func (en *Engine) Module() *ast.Module { return en.module }
+
+// Doc resolves a document URI through the engine's resolver, caching
+// results so repeated fn:doc calls observe stable node identities, as the
+// XQuery semantics require.
+func (en *Engine) Doc(uri string) (*xdm.Document, error) {
+	if d, ok := en.docCache[uri]; ok {
+		return d, nil
+	}
+	if en.opts.Docs == nil {
+		return nil, xdm.Errorf(xdm.ErrDoc, "no document resolver configured (fn:doc(%q))", uri)
+	}
+	d, err := en.opts.Docs(uri)
+	if err != nil {
+		return nil, err
+	}
+	en.docCache[uri] = d
+	return d, nil
+}
+
+// AddDoc pre-registers a parsed document under a URI.
+func (en *Engine) AddDoc(uri string, d *xdm.Document) { en.docCache[uri] = d }
+
+// Eval evaluates the module body and returns the result sequence along
+// with fixpoint instrumentation.
+func (en *Engine) Eval() (*Result, error) {
+	ev := &evaluator{
+		engine:  en,
+		ifpAgg:  map[*ast.Fixpoint]*IFPRun{},
+		globals: map[string]xdm.Sequence{},
+	}
+	var ctx dynCtx
+	if en.opts.ContextItem != nil {
+		ctx = dynCtx{item: *en.opts.ContextItem, ok: true, pos: 1, size: 1}
+	}
+	// Globals are evaluated eagerly in declaration order; forward
+	// references are undefined-variable errors, as in XQuery without
+	// cyclic module imports.
+	genv := (*env)(nil)
+	for _, v := range en.module.Vars {
+		val, err := ev.eval(v.Value, genv, ctx)
+		if err != nil {
+			return nil, err
+		}
+		ev.globals[v.Name] = val
+		genv = genv.bind(v.Name, val)
+	}
+	ev.globalEnv = genv
+	val, err := ev.eval(en.module.Body, genv, ctx)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Value: val}
+	for fp, run := range ev.ifpAgg {
+		_ = fp
+		res.IFPRuns = append(res.IFPRuns, *run)
+	}
+	sort.Slice(res.IFPRuns, func(i, j int) bool { return res.IFPRuns[i].Var < res.IFPRuns[j].Var })
+	return res, nil
+}
+
+// EvalString is a convenience that parses and evaluates in one step.
+func EvalString(src string, opts Options) (*Result, error) {
+	m, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return New(m, opts).Eval()
+}
+
+// distCheck runs the syntactic distributivity check for a fixpoint body.
+func (en *Engine) distCheck(fp *ast.Fixpoint) dist.Result {
+	return dist.Check(fp.Body, fp.Var, dist.ModuleResolver(en.module))
+}

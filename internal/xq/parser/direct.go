@@ -1,0 +1,228 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xq/ast"
+)
+
+// parseDirectConstructor parses a direct element constructor starting at
+// the current '<' token. It scans the XML content at the character level
+// and switches back to token mode for enclosed `{…}` expressions; direct
+// text becomes TextCtor parts so constructed content merges the way the
+// XDM prescribes. Boundary (whitespace-only) literal text is stripped, the
+// XQuery default.
+func (p *parser) parseDirectConstructor() ast.Expr {
+	cur := p.tok.start // at '<'
+	elem, cur := p.parseDirElemAt(cur)
+	p.l.pos = cur
+	p.advance()
+	return elem
+}
+
+func (p *parser) derrf(format string, args ...any) {
+	panic(&ParseError{Line: p.l.line, Msg: "direct constructor: " + fmt.Sprintf(format, args...)})
+}
+
+// parseDirElemAt parses "<name attr…>content</name>" beginning at cur
+// (which must index '<') and returns the constructor and the offset just
+// past the closing tag.
+func (p *parser) parseDirElemAt(cur int) (*ast.ElemCtor, int) {
+	src := p.l.src
+	cur++ // consume '<'
+	name, cur := p.scanXMLName(cur)
+	if name == "" {
+		p.derrf("expected element name after '<'")
+	}
+	e := &ast.ElemCtor{Name: name}
+	// Attributes.
+	for {
+		cur = skipXMLSpace(src, cur)
+		if cur >= len(src) {
+			p.derrf("unterminated start tag <%s", name)
+		}
+		if src[cur] == '/' || src[cur] == '>' {
+			break
+		}
+		var aname string
+		aname, cur = p.scanXMLName(cur)
+		if aname == "" {
+			p.derrf("expected attribute name in <%s>", name)
+		}
+		cur = skipXMLSpace(src, cur)
+		if cur >= len(src) || src[cur] != '=' {
+			p.derrf("expected '=' after attribute %s", aname)
+		}
+		cur = skipXMLSpace(src, cur+1)
+		var parts []ast.Expr
+		parts, cur = p.parseAttrValue(cur)
+		e.Attrs = append(e.Attrs, &ast.AttrCtor{Name: aname, Content: parts})
+	}
+	if src[cur] == '/' {
+		if cur+1 >= len(src) || src[cur+1] != '>' {
+			p.derrf("expected '/>' in <%s>", name)
+		}
+		return e, cur + 2
+	}
+	cur++ // consume '>'
+	var content []ast.Expr
+	var text strings.Builder
+	textHasRef := false // text containing char/entity refs is not boundary ws
+	flush := func() {
+		if text.Len() == 0 {
+			return
+		}
+		s := text.String()
+		text.Reset()
+		if !textHasRef && strings.TrimSpace(s) == "" {
+			return // boundary whitespace
+		}
+		textHasRef = false
+		content = append(content, &ast.TextCtor{Content: &ast.Literal{Kind: ast.LitString, Str: s}})
+	}
+	for {
+		if cur >= len(src) {
+			p.derrf("unterminated element <%s>", name)
+		}
+		c := src[cur]
+		switch {
+		case c == '<' && cur+1 < len(src) && src[cur+1] == '/':
+			flush()
+			cur += 2
+			var close string
+			close, cur = p.scanXMLName(cur)
+			if close != name {
+				p.derrf("mismatched end tag </%s> for <%s>", close, name)
+			}
+			cur = skipXMLSpace(src, cur)
+			if cur >= len(src) || src[cur] != '>' {
+				p.derrf("expected '>' in end tag </%s>", name)
+			}
+			e.Content = content
+			return e, cur + 1
+		case c == '<' && strings.HasPrefix(src[cur:], "<!--"):
+			end := strings.Index(src[cur+4:], "-->")
+			if end < 0 {
+				p.derrf("unterminated comment in <%s>", name)
+			}
+			cur += 4 + end + 3 // comments in constructor content are dropped
+		case c == '<':
+			flush()
+			var child *ast.ElemCtor
+			child, cur = p.parseDirElemAt(cur)
+			content = append(content, child)
+		case c == '{' && cur+1 < len(src) && src[cur+1] == '{':
+			text.WriteByte('{')
+			textHasRef = true
+			cur += 2
+		case c == '}' && cur+1 < len(src) && src[cur+1] == '}':
+			text.WriteByte('}')
+			textHasRef = true
+			cur += 2
+		case c == '{':
+			flush()
+			var enc ast.Expr
+			enc, cur = p.parseEnclosed(cur)
+			content = append(content, enc)
+		case c == '}':
+			p.derrf("'}' must be escaped as '}}' in element content")
+		case c == '&':
+			p.l.pos = cur
+			text.WriteString(p.l.scanEntityRef())
+			textHasRef = true
+			cur = p.l.pos
+		default:
+			if c == '\n' {
+				p.l.line++
+			}
+			text.WriteByte(c)
+			cur++
+		}
+	}
+}
+
+// parseEnclosed parses a `{ Expr }` enclosed expression starting at cur
+// (indexing '{') by switching to token mode; it returns the expression and
+// the offset just past the closing '}'.
+func (p *parser) parseEnclosed(cur int) (ast.Expr, int) {
+	p.l.pos = cur + 1
+	p.advance()
+	e := p.parseExpr()
+	if !p.tok.isSym("}") {
+		p.errf("expected '}' after enclosed expression, found %s", p.tok.describe())
+	}
+	return e, p.tok.end
+}
+
+// parseAttrValue parses a quoted attribute value with embedded {…}
+// expressions, returning the content parts.
+func (p *parser) parseAttrValue(cur int) ([]ast.Expr, int) {
+	src := p.l.src
+	if cur >= len(src) || (src[cur] != '"' && src[cur] != '\'') {
+		p.derrf("expected quoted attribute value")
+	}
+	quote := src[cur]
+	cur++
+	var parts []ast.Expr
+	var text strings.Builder
+	flush := func() {
+		if text.Len() > 0 {
+			parts = append(parts, &ast.Literal{Kind: ast.LitString, Str: text.String()})
+			text.Reset()
+		}
+	}
+	for {
+		if cur >= len(src) {
+			p.derrf("unterminated attribute value")
+		}
+		c := src[cur]
+		switch {
+		case c == quote && cur+1 < len(src) && src[cur+1] == quote:
+			text.WriteByte(quote)
+			cur += 2
+		case c == quote:
+			flush()
+			return parts, cur + 1
+		case c == '{' && cur+1 < len(src) && src[cur+1] == '{':
+			text.WriteByte('{')
+			cur += 2
+		case c == '}' && cur+1 < len(src) && src[cur+1] == '}':
+			text.WriteByte('}')
+			cur += 2
+		case c == '{':
+			flush()
+			var enc ast.Expr
+			enc, cur = p.parseEnclosed(cur)
+			parts = append(parts, enc)
+		case c == '&':
+			p.l.pos = cur
+			text.WriteString(p.l.scanEntityRef())
+			cur = p.l.pos
+		default:
+			if c == '\n' {
+				p.l.line++
+			}
+			text.WriteByte(c)
+			cur++
+		}
+	}
+}
+
+func (p *parser) scanXMLName(cur int) (string, int) {
+	src := p.l.src
+	start := cur
+	if cur < len(src) && isNameStart(src[cur]) {
+		for cur < len(src) && (isNameChar(src[cur]) || src[cur] == ':') {
+			cur++
+		}
+	}
+	return src[start:cur], cur
+}
+
+func skipXMLSpace(src string, cur int) int {
+	for cur < len(src) && (src[cur] == ' ' || src[cur] == '\t' || src[cur] == '\n' || src[cur] == '\r') {
+		cur++
+	}
+	return cur
+}

@@ -1,0 +1,294 @@
+// Package parser implements a hand-written lexer and recursive-descent
+// parser for the LiXQuery-class subset defined in internal/xq/ast,
+// including the paper's `with $x seeded by e recurse e` form and direct
+// element constructors.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tEOF tokKind = iota
+	tName
+	tVar // $name (text holds the name without $)
+	tInt
+	tDouble
+	tString
+	tSym
+)
+
+type token struct {
+	kind  tokKind
+	text  string
+	i     int64
+	f     float64
+	start int // byte offset of first char
+	end   int // byte offset just past the token
+	line  int
+}
+
+func (t token) isSym(s string) bool  { return t.kind == tSym && t.text == s }
+func (t token) isName(s string) bool { return t.kind == tName && t.text == s }
+
+func (t token) describe() string {
+	switch t.kind {
+	case tEOF:
+		return "end of query"
+	case tVar:
+		return "$" + t.text
+	case tString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// ParseError reports a syntax error with position information.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("syntax error at line %d: %s", e.Line, e.Msg) }
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errf(format string, args ...any) {
+	panic(&ParseError{Line: l.line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *lexer) at(i int) byte {
+	if i < len(l.src) {
+		return l.src[i]
+	}
+	return 0
+}
+
+// skipSpace consumes whitespace and (nested) XQuery comments.
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '(' && l.at(l.pos+1) == ':':
+			depth := 1
+			l.pos += 2
+			for l.pos < len(l.src) && depth > 0 {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				if l.src[l.pos] == '(' && l.at(l.pos+1) == ':' {
+					depth++
+					l.pos += 2
+					continue
+				}
+				if l.src[l.pos] == ':' && l.at(l.pos+1) == ')' {
+					depth--
+					l.pos += 2
+					continue
+				}
+				l.pos++
+			}
+			if depth > 0 {
+				l.errf("unterminated comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// scanName consumes an NCName or QName starting at l.pos. A ':' is only
+// consumed when it joins two name parts and is not part of '::'.
+func (l *lexer) scanName() string {
+	start := l.pos
+	for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.at(l.pos) == ':' && l.at(l.pos+1) != ':' && isNameStart(l.at(l.pos+1)) {
+		l.pos++
+		for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	return l.src[start:l.pos]
+}
+
+// next produces the next token in query mode.
+func (l *lexer) next() token {
+	l.skipSpace()
+	start := l.pos
+	line := l.line
+	if l.pos >= len(l.src) {
+		return token{kind: tEOF, start: start, end: start, line: line}
+	}
+	c := l.src[l.pos]
+	switch {
+	case isNameStart(c):
+		name := l.scanName()
+		return token{kind: tName, text: name, start: start, end: l.pos, line: line}
+	case isDigit(c) || (c == '.' && isDigit(l.at(l.pos+1))):
+		return l.scanNumber(start, line)
+	case c == '"' || c == '\'':
+		return l.scanString(start, line)
+	case c == '$':
+		l.pos++
+		if !isNameStart(l.at(l.pos)) {
+			l.errf("expected variable name after $")
+		}
+		name := l.scanName()
+		return token{kind: tVar, text: name, start: start, end: l.pos, line: line}
+	}
+	// symbols, longest match first
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "//", "::", ":=", "<=", ">=", "!=", "<<", ">>", "..":
+		l.pos += 2
+		return token{kind: tSym, text: two, start: start, end: l.pos, line: line}
+	}
+	switch c {
+	case '(', ')', '[', ']', '{', '}', ',', ';', '.', '@', '/', '=', '<', '>', '+', '-', '*', '|', '?', ':':
+		l.pos++
+		return token{kind: tSym, text: string(c), start: start, end: l.pos, line: line}
+	}
+	l.errf("unexpected character %q", string(c))
+	return token{}
+}
+
+func (l *lexer) scanNumber(start, line int) token {
+	isDouble := false
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.at(l.pos) == '.' && isDigit(l.at(l.pos+1)) {
+		isDouble = true
+		l.pos++
+		for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	if e := l.at(l.pos); e == 'e' || e == 'E' {
+		j := l.pos + 1
+		if l.at(j) == '+' || l.at(j) == '-' {
+			j++
+		}
+		if isDigit(l.at(j)) {
+			isDouble = true
+			l.pos = j
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+	}
+	text := l.src[start:l.pos]
+	if isDouble {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			l.errf("bad numeric literal %q", text)
+		}
+		return token{kind: tDouble, text: text, f: f, start: start, end: l.pos, line: line}
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		l.errf("bad integer literal %q", text)
+	}
+	return token{kind: tInt, text: text, i: i, start: start, end: l.pos, line: line}
+}
+
+func (l *lexer) scanString(start, line int) token {
+	quote := l.src[l.pos]
+	l.pos++
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			l.errf("unterminated string literal")
+		}
+		c := l.src[l.pos]
+		if c == quote {
+			if l.at(l.pos+1) == quote { // doubled quote escape
+				sb.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			break
+		}
+		if c == '&' {
+			sb.WriteString(l.scanEntityRef())
+			continue
+		}
+		if c == '\n' {
+			l.line++
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{kind: tString, text: sb.String(), start: start, end: l.pos, line: line}
+}
+
+// scanEntityRef consumes an entity or character reference at l.pos
+// (positioned on '&') and returns its replacement text.
+func (l *lexer) scanEntityRef() string {
+	end := strings.IndexByte(l.src[l.pos:], ';')
+	if end < 0 || end > 12 {
+		l.errf("invalid entity reference")
+	}
+	ref := l.src[l.pos+1 : l.pos+end]
+	l.pos += end + 1
+	switch ref {
+	case "lt":
+		return "<"
+	case "gt":
+		return ">"
+	case "amp":
+		return "&"
+	case "quot":
+		return `"`
+	case "apos":
+		return "'"
+	}
+	if strings.HasPrefix(ref, "#x") || strings.HasPrefix(ref, "#X") {
+		n, err := strconv.ParseInt(ref[2:], 16, 32)
+		if err != nil {
+			l.errf("invalid character reference &%s;", ref)
+		}
+		return string(rune(n))
+	}
+	if strings.HasPrefix(ref, "#") {
+		n, err := strconv.ParseInt(ref[1:], 10, 32)
+		if err != nil {
+			l.errf("invalid character reference &%s;", ref)
+		}
+		return string(rune(n))
+	}
+	l.errf("unknown entity &%s;", ref)
+	return ""
+}

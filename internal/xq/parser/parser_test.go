@@ -1,0 +1,255 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xq/ast"
+)
+
+func parseOK(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return e
+}
+
+// TestRoundTrip: Format(parse(src)) re-parses to the same rendering — a
+// fixed point of the printer/parser pair.
+func TestRoundTrip(t *testing.T) {
+	cases := []string{
+		`1`, `1.5`, `"a b"`, `()`, `(1, 2, 3)`,
+		`1 + 2 * 3`, `(1 + 2) * 3`, `7 idiv 2`, `5 mod 2`, `-1`,
+		`1 = 2`, `1 eq 2`, `1 to 5`, `$a union $b`, `$a intersect $b`, `$a except $b`,
+		`$x and $y or $z`, `$a is $b`, `$a << $b`, `$a >> $b`,
+		`for $x in (1, 2) return $x`, `for $x at $i in $s return $i`,
+		`let $v := 1 return $v + 1`,
+		`some $x in $s satisfies $x > 2`, `every $x in $s satisfies $x > 2`,
+		`if ($c) then 1 else 2`,
+		`child::a`, `a/b/c`, `$d/a[1]/b[2]`, `@id`, `$x/@code`,
+		`descendant::node()`, `ancestor-or-self::a`, `following-sibling::b[3]`,
+		`self::node()`, `text()`, `comment()`, `processing-instruction()`,
+		`count($x)`, `concat("a", "b")`, `fn:empty(())`,
+		`element foo { 1 }`, `attribute bar { "v" }`, `text { "t" }`,
+		`typeswitch ($v) case xs:integer return 1 default return 2`,
+		`typeswitch ($v) case $i as element(a) return $i default $d return $d`,
+		`with $x seeded by $seed recurse $x/child::a`,
+		`with $x seeded by . recurse $x/a/b`,
+	}
+	for _, src := range cases {
+		e1 := parseOK(t, src)
+		s1 := ast.Format(e1)
+		e2 := parseOK(t, s1)
+		s2 := ast.Format(e2)
+		if s1 != s2 {
+			t.Errorf("round trip diverges for %q:\n  first:  %s\n  second: %s", src, s1, s2)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`1 + 2 * 3`, `1 + 2 * 3`},
+		{`(1 + 2) * 3`, `(1 + 2) * 3`},
+		{`1 - 2 - 3`, `1 - 2 - 3`}, // left assoc
+		{`$a or $b and $c`, `$a or $b and $c`},
+		{`$a = $b | $c`, `$a = $b union $c`}, // union binds tighter, no parens needed
+		{`- 1 + 2`, `-1 + 2`},
+	}
+	for _, c := range cases {
+		got := ast.Format(parseOK(t, c.src))
+		if got != c.want {
+			t.Errorf("Format(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestFixpointForm(t *testing.T) {
+	e := parseOK(t, `with $x seeded by doc("d.xml")/a recurse $x/b`)
+	fp, ok := e.(*ast.Fixpoint)
+	if !ok {
+		t.Fatalf("expected Fixpoint, got %T", e)
+	}
+	if fp.Var != "x" {
+		t.Errorf("recursion variable = %q", fp.Var)
+	}
+	if _, ok := fp.Seed.(*ast.Slash); !ok {
+		t.Errorf("seed shape wrong: %T", fp.Seed)
+	}
+	if _, ok := fp.Body.(*ast.Slash); !ok {
+		t.Errorf("body shape wrong: %T", fp.Body)
+	}
+	// "with" stays available as an element name test.
+	e2 := parseOK(t, `a/with`)
+	if _, ok := e2.(*ast.Slash); !ok {
+		t.Errorf("'with' as name test broken: %T", e2)
+	}
+}
+
+func TestFLWORDesugaring(t *testing.T) {
+	e := parseOK(t, `for $a in (1, 2), $b in (3, 4) where $a < $b return $a`)
+	outer, ok := e.(*ast.For)
+	if !ok {
+		t.Fatalf("outer not For: %T", e)
+	}
+	inner, ok := outer.Body.(*ast.For)
+	if !ok {
+		t.Fatalf("inner not For: %T", outer.Body)
+	}
+	iff, ok := inner.Body.(*ast.If)
+	if !ok {
+		t.Fatalf("where not desugared to If: %T", inner.Body)
+	}
+	if s, ok := iff.Else.(*ast.Seq); !ok || len(s.Items) != 0 {
+		t.Errorf("where else-branch not empty sequence")
+	}
+}
+
+func TestPathDesugaring(t *testing.T) {
+	// e1//e2 becomes e1/descendant-or-self::node()/e2
+	e := parseOK(t, `$d//b`)
+	outer := e.(*ast.Slash)
+	step := outer.R.(*ast.AxisStep)
+	if step.Test.Name != "b" {
+		t.Fatalf("outer step wrong")
+	}
+	dos := outer.L.(*ast.Slash).R.(*ast.AxisStep)
+	if dos.Axis != ast.AxisDescendantOrSelf || dos.Test.Kind != ast.TestAnyKind {
+		t.Errorf("// not desugared to descendant-or-self::node()")
+	}
+	// leading / roots at the document node
+	e2 := parseOK(t, `/a`)
+	if _, ok := e2.(*ast.Slash).L.(*ast.RootExpr); !ok {
+		t.Errorf("leading / not rooted")
+	}
+	// .. is parent::node()
+	e3 := parseOK(t, `../x`)
+	par := e3.(*ast.Slash).L.(*ast.AxisStep)
+	if par.Axis != ast.AxisParent {
+		t.Errorf(".. not parent axis")
+	}
+}
+
+func TestDirectConstructors(t *testing.T) {
+	e := parseOK(t, `<a x="1" y="{$v}z"><b/>txt{1 + 1}<!--c--></a>`)
+	ctor, ok := e.(*ast.ElemCtor)
+	if !ok {
+		t.Fatalf("not ElemCtor: %T", e)
+	}
+	if ctor.Name != "a" || len(ctor.Attrs) != 2 {
+		t.Fatalf("ctor shape wrong: %+v", ctor)
+	}
+	if len(ctor.Attrs[1].Content) != 2 {
+		t.Errorf("attribute value parts = %d, want 2", len(ctor.Attrs[1].Content))
+	}
+	// content: <b/>, text "txt", enclosed 1+1 (comment dropped)
+	if len(ctor.Content) != 3 {
+		t.Errorf("content parts = %d, want 3 (%v)", len(ctor.Content), ctor.Content)
+	}
+	// entity refs and escaped braces in text
+	e2 := parseOK(t, `<a>&lt;{{x}}&#65;</a>`)
+	txt := e2.(*ast.ElemCtor).Content[0].(*ast.TextCtor).Content.(*ast.Literal)
+	if txt.Str != "<{x}A" {
+		t.Errorf("text content = %q, want %q", txt.Str, "<{x}A")
+	}
+	// whitespace-only boundary text is stripped
+	e3 := parseOK(t, "<a>\n  <b/>\n</a>")
+	if len(e3.(*ast.ElemCtor).Content) != 1 {
+		t.Errorf("boundary whitespace not stripped")
+	}
+}
+
+func TestPrologParsing(t *testing.T) {
+	m, err := Parse(`
+declare variable $g := 42;
+declare function local:f($a as node()*, $b) as xs:integer { count($a) + $b };
+local:f((), $g)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Vars) != 1 || m.Vars[0].Name != "g" {
+		t.Errorf("variable decl wrong")
+	}
+	f := m.Function("local:f", 2)
+	if f == nil {
+		t.Fatal("function not found")
+	}
+	if f.Params[0].Type == nil || f.Params[0].Type.String() != "node()*" {
+		t.Errorf("param type = %v", f.Params[0].Type)
+	}
+	if f.Return == nil || f.Return.String() != "xs:integer" {
+		t.Errorf("return type = %v", f.Return)
+	}
+	if m.Function("local:f", 1) != nil {
+		t.Errorf("arity must distinguish functions")
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	e := parseOK(t, `(: outer (: nested :) still comment :) 1 (: trailing :) + 2`)
+	if ast.Format(e) != "1 + 2" {
+		t.Errorf("comments not skipped: %s", ast.Format(e))
+	}
+}
+
+func TestStringLiteralEscapes(t *testing.T) {
+	cases := map[string]string{
+		`"a""b"`:      `a"b`,
+		`'a''b'`:      `a'b`,
+		`"&lt;&amp;"`: `<&`,
+		`"&#x41;"`:    "A",
+	}
+	for src, want := range cases {
+		lit := parseOK(t, src).(*ast.Literal)
+		if lit.Str != want {
+			t.Errorf("%s = %q, want %q", src, lit.Str, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``, `1 +`, `(1, 2`, `for $x return 1`, `if (1) then 2`,
+		`let $x = 1 return $x`, `<a><b></a>`, `<a>`, `"unterminated`,
+		`with $x seeded $s recurse $x`, `declare function f() { 1 }`,
+		`$`, `1 ~ 2`, `typeswitch (1) default return 1 case xs:integer return 2`,
+		`for $x in (1,2) order by $x, $y return $x`,
+	}
+	for _, src := range cases {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("parse %q: expected error", src)
+		} else if !strings.Contains(err.Error(), "syntax error") {
+			t.Errorf("parse %q: error %v lacks position info", src, err)
+		}
+	}
+}
+
+func TestFreeVarsAndSubstitute(t *testing.T) {
+	e := parseOK(t, `for $a in $s return $a + $b`)
+	fv := ast.FreeVars(e)
+	if !fv["s"] || !fv["b"] || fv["a"] {
+		t.Errorf("free vars wrong: %v", fv)
+	}
+	// substitution respects binding
+	sub := ast.Substitute(e, "b", &ast.Literal{Kind: ast.LitInteger, Int: 7})
+	if got := ast.Format(sub); got != "for $a in $s return $a + 7" {
+		t.Errorf("substitute = %q", got)
+	}
+	sub2 := ast.Substitute(e, "a", &ast.Literal{Kind: ast.LitInteger, Int: 7})
+	if got := ast.Format(sub2); got != ast.Format(e) {
+		t.Errorf("bound variable substituted: %q", got)
+	}
+	// fixpoint binds its recursion variable
+	fp := parseOK(t, `with $x seeded by $x recurse $x/a`)
+	fpv := ast.FreeVars(fp)
+	if !fpv["x"] {
+		t.Errorf("seed $x is free (it is evaluated outside the binder)")
+	}
+	body := fp.(*ast.Fixpoint)
+	sub3 := ast.Substitute(body, "x", &ast.VarRef{Name: "other"})
+	if got := ast.Format(sub3); got != "with $x seeded by $other recurse $x/a" {
+		t.Errorf("fixpoint substitution wrong: %q", got)
+	}
+}
