@@ -1,0 +1,27 @@
+# Tier-1 entry points. `make` = build + test.
+
+GO ?= go
+
+.PHONY: all build test bench bench-json vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The Table 2 cells tracked across PRs (see EXPERIMENTS.md, BENCH_1.json).
+bench:
+	$(GO) test -run '^$$' -bench 'IFPCore|BidderNetworkSmall' -benchmem
+
+# Machine-readable snapshot of the full-size experiments.
+bench-json:
+	$(GO) run ./cmd/ifpbench -json BENCH_snapshot.json
+
+clean:
+	rm -f ifpbench xq distcheck xmlgen *.test BENCH_snapshot*.json

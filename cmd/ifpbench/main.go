@@ -9,12 +9,18 @@
 //	ifpbench -exp T2.5       # one row
 //	ifpbench -list           # list experiments
 //	ifpbench -markdown       # EXPERIMENTS.md-style output
+//	ifpbench -json BENCH.json  # machine-readable snapshot (ns/op,
+//	                           # allocs/op, nodes-fed per cell) so the
+//	                           # perf trajectory is diffable across PRs
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
 	"time"
 
 	"repro/internal/bench"
@@ -26,6 +32,7 @@ func main() {
 		expID    = flag.String("exp", "", "run a single experiment (id or name)")
 		list     = flag.Bool("list", false, "list experiments")
 		markdown = flag.Bool("markdown", false, "emit a markdown table")
+		jsonPath = flag.String("json", "", "write a machine-readable benchmark snapshot to this file")
 	)
 	flag.Parse()
 
@@ -43,6 +50,14 @@ func main() {
 			os.Exit(2)
 		}
 		exps = []bench.Experiment{e}
+	}
+
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, exps); err != nil {
+			fmt.Fprintf(os.Stderr, "ifpbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	runner := &bench.Runner{}
@@ -64,6 +79,87 @@ func main() {
 		return
 	}
 	bench.WriteTable(os.Stdout, rows)
+}
+
+// BenchEntry is one measured benchmark cell in the snapshot file — the
+// schema shared with the checked-in BENCH_<n>.json trajectory files.
+type BenchEntry struct {
+	Name     string  `json:"name"`
+	Phase    string  `json:"phase"` // "snapshot" here; "baseline"/"optimized" in trajectory files
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	NodesFed int64   `json:"nodes_fed"`
+	Depth    int     `json:"depth"`
+}
+
+// BenchFile is the snapshot/trajectory file layout.
+type BenchFile struct {
+	Schema    string       `json:"schema"`
+	Generated string       `json:"generated"`
+	Go        string       `json:"go"`
+	Entries   []BenchEntry `json:"entries"`
+}
+
+// writeJSON measures every (experiment, engine, algorithm) cell — each
+// cell its own testing.Benchmark run, with document generation/parsing
+// hoisted out of the timed region — and writes one entry per cell so
+// snapshots are diffable against BENCH_<n>.json trajectory entries.
+func writeJSON(path string, exps []bench.Experiment) error {
+	runner := &bench.Runner{}
+	out := BenchFile{
+		Schema:    "ifpxq-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+	}
+	for _, e := range exps {
+		prep, err := runner.Prepare(e)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, engine := range []string{bench.EngineInterp, bench.EngineRelational} {
+			for _, alg := range []core.Algorithm{core.Naive, core.Delta} {
+				name := fmt.Sprintf("%s/%s/%s/%s", e.ID, e.Name, engine, alg)
+				fmt.Fprintf(os.Stderr, "measuring %s…\n", name)
+				var meas bench.Measurement
+				var runErr error
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						m, err := prep.RunCell(engine, alg)
+						if err != nil {
+							// b.Fatal would swallow the error into the
+							// discarded benchmark buffer and return a zero
+							// result; surface it.
+							runErr = err
+							b.FailNow()
+						}
+						meas = m
+					}
+				})
+				if runErr != nil {
+					return fmt.Errorf("%s: %w", name, runErr)
+				}
+				if res.N == 0 {
+					return fmt.Errorf("%s: benchmark produced no measurement", name)
+				}
+				out.Entries = append(out.Entries, BenchEntry{
+					Name:     name,
+					Phase:    "snapshot",
+					NsOp:     float64(res.NsPerOp()),
+					BytesOp:  res.AllocedBytesPerOp(),
+					AllocsOp: res.AllocsPerOp(),
+					NodesFed: meas.Stats.NodesFedBack,
+					Depth:    meas.Stats.Depth,
+				})
+			}
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func writeMarkdown(rows []*bench.Row) {

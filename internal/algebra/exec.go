@@ -60,6 +60,46 @@ type ExecContext struct {
 	muAgg     map[*Node]*MuRun
 	docs      map[string]*xdm.Document
 	stepCache map[stepCacheKey][]xdm.NodeRef
+	arena     itemArena
+}
+
+// itemArena hands out row slices carved from shared slabs: operators that
+// emit one short row per input row (steps, projections, numeric columns,
+// the µ feed tables) pay one slab allocation per few thousand rows instead
+// of one per row. Slabs are never reclaimed individually — rows alias
+// them — so the arena's lifetime is the execution context's.
+type itemArena struct {
+	slab []xdm.Item
+}
+
+const arenaSlab = 4096
+
+// row returns a zeroed row of width n backed by the current slab.
+func (a *itemArena) row(n int) []xdm.Item {
+	if len(a.slab)+n > cap(a.slab) {
+		if n > arenaSlab {
+			return make([]xdm.Item, n)
+		}
+		a.slab = make([]xdm.Item, 0, arenaSlab)
+	}
+	start := len(a.slab)
+	a.slab = a.slab[:start+n]
+	return a.slab[start : start+n : start+n]
+}
+
+// copyRow clones a row into the arena with extra capacity headroom 0.
+func (a *itemArena) copyRow(src []xdm.Item) []xdm.Item {
+	out := a.row(len(src))
+	copy(out, src)
+	return out
+}
+
+// extendRow clones a row into the arena with one extra trailing slot.
+func (a *itemArena) extendRow(src []xdm.Item, v xdm.Item) []xdm.Item {
+	out := a.row(len(src) + 1)
+	copy(out, src)
+	out[len(src)] = v
+	return out
 }
 
 // stepCacheKey caches axis-step results per (node, axis, test): documents
@@ -152,7 +192,7 @@ func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
 		}
 		rows := make([][]xdm.Item, len(in.Rows))
 		for r, row := range in.Rows {
-			out := make([]xdm.Item, len(srcIdx))
+			out := ctx.arena.row(len(srcIdx))
 			for i, s := range srcIdx {
 				out[i] = row[s]
 			}
@@ -166,7 +206,7 @@ func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
 		}
 		rows := make([][]xdm.Item, len(in.Rows))
 		for r, row := range in.Rows {
-			rows[r] = append(append(make([]xdm.Item, 0, len(row)+1), row...), n.Val)
+			rows[r] = ctx.arena.extendRow(row, n.Val)
 		}
 		return NewTable(n.Schema(), rows), nil
 	case OpSelect:
@@ -200,7 +240,7 @@ func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
 		var rows [][]xdm.Item
 		for _, lr := range l.Rows {
 			for _, rr := range r.Rows {
-				rows = append(rows, concatRows(lr, rr))
+				rows = append(rows, ctx.arena.concatRows(lr, rr))
 			}
 		}
 		return NewTable(n.Schema(), rows), nil
@@ -237,7 +277,7 @@ func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
 		rows := make([][]xdm.Item, 0, len(l.Rows)+len(r.Rows))
 		rows = append(rows, l.Rows...)
 		for _, row := range r.Rows {
-			out := make([]xdm.Item, len(ridx))
+			out := ctx.arena.row(len(ridx))
 			for i, s := range ridx {
 				out[i] = row[s]
 			}
@@ -314,7 +354,7 @@ func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
 		}
 		rows := make([][]xdm.Item, len(in.Rows))
 		for r, row := range in.Rows {
-			rows[r] = append(append(make([]xdm.Item, 0, len(row)+1), row...), xdm.NewInteger(int64(r+1)))
+			rows[r] = ctx.arena.extendRow(row, xdm.NewInteger(int64(r+1)))
 		}
 		return NewTable(n.Schema(), rows), nil
 	case OpRowNum:
@@ -331,9 +371,12 @@ func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
 	return nil, xdm.Errorf(xdm.ErrType, "algebra: unknown operator %v", n.Op)
 }
 
-func concatRows(a, b []xdm.Item) []xdm.Item {
-	out := make([]xdm.Item, 0, len(a)+len(b))
-	return append(append(out, a...), b...)
+// concatRows joins two rows into one arena-backed row.
+func (a *itemArena) concatRows(x, y []xdm.Item) []xdm.Item {
+	out := a.row(len(x) + len(y))
+	copy(out, x)
+	copy(out[len(x):], y)
+	return out
 }
 
 // ---- keys and comparisons ---------------------------------------------
@@ -437,17 +480,43 @@ func (ctx *ExecContext) evalJoin(n *Node, semi, anti bool) (*Table, error) {
 		lEqIdx[i] = l.Col(p.L)
 		rEqIdx[i] = r.Col(p.R)
 	}
-	idx1 := map[ikey][]int32{}
-	idx2 := map[ikey2][]int32{}
+	// Node-identity keys bypass the promotion-namespace machinery: a node
+	// only ever meets another node, under exactly its packed identity, so
+	// both sides skip the per-row []ikey key-slice allocation. Indexes are
+	// allocated for the arity actually joined on (lookups on the unused
+	// nil maps are legal and always miss).
+	var idx1 map[ikey][]int32
+	var idx2 map[ikey2][]int32
+	var nidx1 map[uint64][]int32
+	var nidx2 map[[2]uint64][]int32
+	switch len(eq) {
+	case 1:
+		idx1 = map[ikey][]int32{}
+		nidx1 = map[uint64][]int32{}
+	case 2:
+		idx2 = map[ikey2][]int32{}
+		nidx2 = map[[2]uint64][]int32{}
+	}
 	for ri, row := range r.Rows {
 		switch len(eq) {
 		case 1:
+			if it := row[rEqIdx[0]]; it.IsNode() {
+				k := nodeKey64(it.Node())
+				nidx1[k] = append(nidx1[k], int32(ri))
+				continue
+			}
 			for _, k := range buildIKeys(row[rEqIdx[0]]) {
 				idx1[k] = append(idx1[k], int32(ri))
 			}
 		case 2:
-			for _, ka := range buildIKeys(row[rEqIdx[0]]) {
-				for _, kb := range buildIKeys(row[rEqIdx[1]]) {
+			ia, ib := row[rEqIdx[0]], row[rEqIdx[1]]
+			if ia.IsNode() && ib.IsNode() {
+				k := [2]uint64{nodeKey64(ia.Node()), nodeKey64(ib.Node())}
+				nidx2[k] = append(nidx2[k], int32(ri))
+				continue
+			}
+			for _, ka := range buildIKeys(ia) {
+				for _, kb := range buildIKeys(ib) {
 					k := ikey2{ka, kb}
 					idx2[k] = append(idx2[k], int32(ri))
 				}
@@ -467,12 +536,21 @@ func (ctx *ExecContext) evalJoin(n *Node, semi, anti bool) (*Table, error) {
 		candidates = candidates[:0]
 		switch len(eq) {
 		case 1:
+			if it := lrow[lEqIdx[0]]; it.IsNode() {
+				candidates = append(candidates, nidx1[nodeKey64(it.Node())]...)
+				break
+			}
 			for _, k := range probeIKeys(lrow[lEqIdx[0]]) {
 				candidates = append(candidates, idx1[k]...)
 			}
 		case 2:
-			for _, ka := range probeIKeys(lrow[lEqIdx[0]]) {
-				for _, kb := range probeIKeys(lrow[lEqIdx[1]]) {
+			ia, ib := lrow[lEqIdx[0]], lrow[lEqIdx[1]]
+			if ia.IsNode() && ib.IsNode() {
+				candidates = append(candidates, nidx2[[2]uint64{nodeKey64(ia.Node()), nodeKey64(ib.Node())}]...)
+				break
+			}
+			for _, ka := range probeIKeys(ia) {
+				for _, kb := range probeIKeys(ib) {
 					candidates = append(candidates, idx2[ikey2{ka, kb}]...)
 				}
 			}
@@ -497,7 +575,7 @@ func (ctx *ExecContext) evalJoin(n *Node, semi, anti bool) (*Table, error) {
 			if semi {
 				break
 			}
-			rows = append(rows, concatRows(lrow, rrow))
+			rows = append(rows, ctx.arena.concatRows(lrow, rrow))
 		}
 		if semi && matched != anti {
 			rows = append(rows, lrow)
@@ -561,8 +639,7 @@ func (ctx *ExecContext) evalNumOp(n *Node) (*Table, error) {
 	}
 	rows := make([][]xdm.Item, len(in.Rows))
 	for r, row := range in.Rows {
-		v := applyNumOp(n.Num, row, argIdx)
-		rows[r] = append(append(make([]xdm.Item, 0, len(row)+1), row...), v)
+		rows[r] = ctx.arena.extendRow(row, applyNumOp(n.Num, row, argIdx))
 	}
 	return NewTable(n.Schema(), rows), nil
 }
@@ -689,26 +766,22 @@ func (ctx *ExecContext) evalRowNum(n *Node) (*Table, error) {
 			ranks[ri] = c
 		}
 	case 1:
-		counters := map[ikey]int64{}
+		counters := newRowCounter(1)
 		for _, ri := range order {
-			k := itemIKey(in.Rows[ri][gidx[0]])
-			counters[k]++
-			ranks[ri] = counters[k]
+			ranks[ri] = int64(counters.add(in.Rows[ri], gidx, 1))
 		}
 	default:
-		counters := map[ikey2]int64{}
 		if len(gidx) > 2 {
 			return nil, xdm.Errorf(xdm.ErrType, "algebra: row numbering supports at most two partition columns")
 		}
+		counters := newRowCounter(2)
 		for _, ri := range order {
-			k := ikey2{itemIKey(in.Rows[ri][gidx[0]]), itemIKey(in.Rows[ri][gidx[1]])}
-			counters[k]++
-			ranks[ri] = counters[k]
+			ranks[ri] = int64(counters.add(in.Rows[ri], gidx, 1))
 		}
 	}
 	rows := make([][]xdm.Item, len(in.Rows))
 	for r, row := range in.Rows {
-		rows[r] = append(append(make([]xdm.Item, 0, len(row)+1), row...), xdm.NewInteger(ranks[r]))
+		rows[r] = ctx.arena.extendRow(row, xdm.NewInteger(ranks[r]))
 	}
 	return NewTable(n.Schema(), rows), nil
 }
@@ -739,7 +812,7 @@ func (ctx *ExecContext) evalStep(n *Node) (*Table, error) {
 			ctx.stepCache[key] = matches
 		}
 		for _, m := range matches {
-			out := append([]xdm.Item{}, row...)
+			out := ctx.arena.copyRow(row)
 			out[c] = xdm.NewNode(m)
 			rows = append(rows, out)
 		}
@@ -826,7 +899,7 @@ func (ctx *ExecContext) evalIDLookup(n *Node) (*Table, error) {
 		doc := row[ctxIdx].Node().D
 		for _, tok := range strings.Fields(row[valIdx].StringValue()) {
 			if m, ok := doc.ByID(tok); ok {
-				out := append([]xdm.Item{}, row...)
+				out := ctx.arena.copyRow(row)
 				out[valIdx] = xdm.NewNode(m)
 				rows = append(rows, out)
 			}

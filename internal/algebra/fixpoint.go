@@ -17,6 +17,12 @@ import (
 //
 // Loop-invariant hoisting: sub-plans that do not depend on the recursion
 // base stay memoized across rounds; only base-dependent nodes re-evaluate.
+//
+// Accumulation is incremental (the point of the paper's Delta algorithm
+// carried down to the data structures): the accumulated per-iteration sets
+// are mutated in place by absorb, which deduplicates each round's answer
+// against per-document bitmaps and merges sorted runs — no round rebuilds
+// or re-sorts what previous rounds already established.
 func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 	seedT, err := ctx.kid(n, 0)
 	if err != nil {
@@ -39,7 +45,14 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 		for dep := range deps {
 			delete(ctx.memo, dep)
 		}
-		ctx.binding[n.RecBase] = feed.table()
+		// Drop the arena reference so the previous round's slabs — feed
+		// tables and rec-dependent intermediates whose memo entries were
+		// just invalidated — become collectible; rows that survived into
+		// memoized hoisted tables keep their slabs alive through their own
+		// references. Without this, a deep µ pins O(rounds × result) rows
+		// for the whole execution.
+		ctx.arena = itemArena{}
+		ctx.binding[n.RecBase] = feed.table(ctx)
 		out, err := ctx.eval(n.Kids[1])
 		if err != nil {
 			return nil, err
@@ -64,8 +77,7 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			delta = out.minus(res)
-			res = res.plus(delta)
+			delta = res.absorb(out)
 		}
 	} else {
 		for round := 0; ; round++ {
@@ -76,11 +88,9 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			next := res.plus(out)
-			if next.size() == res.size() {
+			if res.absorb(out).size() == 0 {
 				break
 			}
-			res = next
 		}
 	}
 	delete(ctx.binding, n.RecBase)
@@ -91,7 +101,7 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 		run.Stats.Depth = d
 	}
 	run.Stats.ResultSize += res.size()
-	return res.table(), nil
+	return res.table(ctx), nil
 }
 
 // recDependents collects the sub-plan nodes reachable from root that
@@ -124,18 +134,25 @@ func recDependents(root *Node) map[*Node]bool {
 	return out
 }
 
-// iterSets is a per-iteration node set: the value flowing around the µ
-// loop. Items are deduplicated per iteration and kept in document order.
+// iterSet is one iteration's node set: members in document order plus a
+// per-document bitmap for O(1) identity tests.
+type iterSet struct {
+	rep   xdm.Item
+	nodes []xdm.NodeRef
+	seen  xdm.NodeSet
+}
+
+// iterSets is the per-iteration node-set family: the value flowing around
+// the µ loop. Items are deduplicated per iteration and kept in document
+// order.
 type iterSets struct {
-	iters []xdm.Item                 // distinct iter values, insertion order
-	sets  map[ikey][]xdm.NodeRef     // iter key → doc-ordered nodes
-	seen  map[ikey]map[ikey]struct{} // iter key → node key set
-	reps  map[ikey]xdm.Item          // iter key → iter item
+	iters []xdm.Item        // distinct iter values, insertion order
+	sets  map[ikey]*iterSet // iter key → per-iteration set
 	n     int
 }
 
 func emptyIterSets() *iterSets {
-	return &iterSets{sets: map[ikey][]xdm.NodeRef{}, seen: map[ikey]map[ikey]struct{}{}, reps: map[ikey]xdm.Item{}}
+	return &iterSets{sets: map[ikey]*iterSet{}}
 }
 
 // newIterSets ingests an iter|…|item table, deduplicating per iter and
@@ -155,43 +172,75 @@ func newIterSets(t *Table) (*iterSets, error) {
 	return s, nil
 }
 
-func (s *iterSets) add(iter xdm.Item, node xdm.NodeRef) bool {
-	ik := itemIKey(iter)
-	set, ok := s.seen[ik]
+func (s *iterSets) set(ik ikey, iter xdm.Item) *iterSet {
+	set, ok := s.sets[ik]
 	if !ok {
-		set = map[ikey]struct{}{}
-		s.seen[ik] = set
-		s.reps[ik] = iter
+		set = &iterSet{rep: iter}
+		s.sets[ik] = set
 		s.iters = append(s.iters, iter)
 	}
-	nk := ikey{kind: ikNode, doc: node.D, pre: node.Pre}
-	if _, dup := set[nk]; dup {
+	return set
+}
+
+func (s *iterSets) add(iter xdm.Item, node xdm.NodeRef) bool {
+	set := s.set(itemIKey(iter), iter)
+	if !set.seen.Add(node) {
 		return false
 	}
-	set[nk] = struct{}{}
-	s.sets[ik] = append(s.sets[ik], node)
+	set.nodes = append(set.nodes, node)
 	s.n++
 	return true
 }
 
 func (s *iterSets) sortAll() {
-	for _, nodes := range s.sets {
-		xdm.SortNodes(nodes)
+	for _, set := range s.sets {
+		xdm.SortNodes(set.nodes)
 	}
 }
 
 func (s *iterSets) size() int { return s.n }
 
-// plus returns the union s ∪ o (per iteration).
+// absorb folds another family — each of its sets already sorted, as
+// newIterSets leaves them — into s in place and returns the genuinely new
+// part: per iteration, the nodes not previously in s, in document order.
+// It replaces the minus-then-plus rebuild of the original implementation;
+// the returned delta is read-only (fed back through table, never mutated).
+func (s *iterSets) absorb(o *iterSets) *iterSets {
+	delta := emptyIterSets()
+	for _, iter := range o.iters {
+		ik := itemIKey(iter)
+		oset := o.sets[ik]
+		set := s.set(ik, iter)
+		var fresh []xdm.NodeRef
+		for _, nd := range oset.nodes {
+			if set.seen.Add(nd) {
+				fresh = append(fresh, nd)
+			}
+		}
+		if len(fresh) == 0 {
+			continue
+		}
+		s.n += len(fresh)
+		set.nodes = xdm.MergeSortedNodes(set.nodes, fresh)
+		delta.sets[ik] = &iterSet{rep: iter, nodes: fresh}
+		delta.iters = append(delta.iters, iter)
+		delta.n += len(fresh)
+	}
+	return delta
+}
+
+// plus returns the union s ∪ o (per iteration) as a freshly built family.
+// It is the pre-absorb reference implementation, kept as the oracle for
+// the equivalence property tests — production code uses absorb.
 func (s *iterSets) plus(o *iterSets) *iterSets {
 	out := emptyIterSets()
 	for _, iter := range s.iters {
-		for _, n := range s.sets[itemIKey(iter)] {
+		for _, n := range s.sets[itemIKey(iter)].nodes {
 			out.add(iter, n)
 		}
 	}
 	for _, iter := range o.iters {
-		for _, n := range o.sets[itemIKey(iter)] {
+		for _, n := range o.sets[itemIKey(iter)].nodes {
 			out.add(iter, n)
 		}
 	}
@@ -199,16 +248,16 @@ func (s *iterSets) plus(o *iterSets) *iterSets {
 	return out
 }
 
-// minus returns s \ o (per iteration).
+// minus returns s \ o (per iteration); reference oracle twin of plus.
 func (s *iterSets) minus(o *iterSets) *iterSets {
 	out := emptyIterSets()
 	for _, iter := range s.iters {
-		ik := itemIKey(iter)
-		drop := o.seen[ik]
-		for _, n := range s.sets[ik] {
-			if _, hit := drop[ikey{kind: ikNode, doc: n.D, pre: n.Pre}]; !hit {
-				out.add(iter, n)
+		drop := o.sets[itemIKey(iter)]
+		for _, n := range s.sets[itemIKey(iter)].nodes {
+			if drop != nil && drop.seen.Has(n) {
+				continue
 			}
+			out.add(iter, n)
 		}
 	}
 	out.sortAll()
@@ -217,15 +266,25 @@ func (s *iterSets) minus(o *iterSets) *iterSets {
 
 // table materializes the sets as an iter|pos|item relation with pos the
 // document-order rank within each iteration. Iterations are emitted in a
-// deterministic order.
-func (s *iterSets) table() *Table {
+// deterministic order. Row storage comes from the context's item arena:
+// one slab per table instead of one allocation per row. A nil context
+// falls back to plain allocation (tests).
+func (s *iterSets) table(ctx *ExecContext) *Table {
 	order := make([]xdm.Item, len(s.iters))
 	copy(order, s.iters)
 	sort.SliceStable(order, func(i, j int) bool { return compareItems(order[i], order[j]) < 0 })
-	var rows [][]xdm.Item
+	rows := make([][]xdm.Item, 0, s.n)
+	var arena *itemArena
+	if ctx != nil {
+		arena = &ctx.arena
+	} else {
+		arena = &itemArena{}
+	}
 	for _, iter := range order {
-		for i, n := range s.sets[itemIKey(iter)] {
-			rows = append(rows, []xdm.Item{iter, xdm.NewInteger(int64(i + 1)), xdm.NewNode(n)})
+		for i, n := range s.sets[itemIKey(iter)].nodes {
+			row := arena.row(3)
+			row[0], row[1], row[2] = iter, xdm.NewInteger(int64(i+1)), xdm.NewNode(n)
+			rows = append(rows, row)
 		}
 	}
 	return NewTable([]string{"iter", "pos", "item"}, rows)
@@ -254,7 +313,7 @@ func (ctx *ExecContext) evalCtor(n *Node) (*Table, error) {
 		byIter[itemIKey(row[iterIdx])] = append(byIter[itemIKey(row[iterIdx])], row)
 	}
 	loopIter := loop.Col("iter")
-	var rows [][]xdm.Item
+	rows := make([][]xdm.Item, 0, len(loop.Rows))
 	for _, lrow := range loop.Rows {
 		iter := lrow[loopIter]
 		items := byIter[itemIKey(iter)]
@@ -266,7 +325,9 @@ func (ctx *ExecContext) evalCtor(n *Node) (*Table, error) {
 			return nil, err
 		}
 		if node != nil {
-			rows = append(rows, []xdm.Item{iter, xdm.NewInteger(1), *node})
+			row := ctx.arena.row(3)
+			row[0], row[1], row[2] = iter, xdm.NewInteger(1), *node
+			rows = append(rows, row)
 		}
 	}
 	return NewTable([]string{"iter", "pos", "item"}, rows), nil

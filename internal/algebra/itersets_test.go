@@ -1,0 +1,196 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/xdm"
+)
+
+// These property tests drive randomized node batches through the
+// incremental iterSets accumulator (absorb) and through the original
+// rebuild-everything implementation (plus/minus, kept as oracles) and
+// assert identical observable state after every round: sizes, per-round
+// deltas, and the full iter|pos|item materialization, byte for byte.
+
+// randDoc builds a random element tree with n nodes.
+func randDoc(rng *rand.Rand, n int, uri string) *xdm.Document {
+	b := xdm.NewBuilder(uri)
+	open := 0
+	b.StartElement("r")
+	open++
+	for i := 0; i < n; i++ {
+		switch {
+		case open > 1 && rng.Intn(3) == 0:
+			b.EndElement()
+			open--
+		default:
+			b.StartElement(fmt.Sprintf("e%d", rng.Intn(5)))
+			open++
+		}
+	}
+	for ; open > 0; open-- {
+		b.EndElement()
+	}
+	return b.Done()
+}
+
+// randBatch builds an iter|pos|item table of random (iteration, node)
+// pairs — duplicates and unsorted order included, as µ body outputs have.
+func randBatch(rng *rand.Rand, docs []*xdm.Document, iters []xdm.Item, rows int) *Table {
+	out := make([][]xdm.Item, 0, rows)
+	for i := 0; i < rows; i++ {
+		d := docs[rng.Intn(len(docs))]
+		pre := int32(rng.Intn(d.Len()))
+		iter := iters[rng.Intn(len(iters))]
+		out = append(out, []xdm.Item{iter, xdm.NewInteger(int64(i)), xdm.NewNode(xdm.NodeRef{D: d, Pre: pre})})
+	}
+	return NewTable([]string{"iter", "pos", "item"}, out)
+}
+
+func itemsIdentical(a, b xdm.Item) bool {
+	if a.IsNode() != b.IsNode() {
+		return false
+	}
+	if a.IsNode() {
+		return a.Node().Same(b.Node())
+	}
+	return exactKey(a) == exactKey(b)
+}
+
+func requireTablesIdentical(t *testing.T, what string, got, want *Table) {
+	t.Helper()
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: %d rows, oracle has %d", what, len(got.Rows), len(want.Rows))
+	}
+	for r := range got.Rows {
+		if len(got.Rows[r]) != len(want.Rows[r]) {
+			t.Fatalf("%s: row %d width %d vs %d", what, r, len(got.Rows[r]), len(want.Rows[r]))
+		}
+		for c := range got.Rows[r] {
+			if !itemsIdentical(got.Rows[r][c], want.Rows[r][c]) {
+				t.Fatalf("%s: row %d col %d: %v vs oracle %v", what, r, c, got.Rows[r][c], want.Rows[r][c])
+			}
+		}
+	}
+}
+
+func TestIterSetsAbsorbMatchesPlusMinusOracle(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		docs := []*xdm.Document{
+			randDoc(rng, 30+rng.Intn(60), "a.xml"),
+			randDoc(rng, 30+rng.Intn(60), "b.xml"),
+		}
+		// Iterations mix the item kinds the loop-lifted iter column carries.
+		iters := []xdm.Item{
+			xdm.NewInteger(1), xdm.NewInteger(2), xdm.NewInteger(7),
+			xdm.NewNode(docs[0].Root()),
+			xdm.NewString("it"),
+		}
+		seedT := randBatch(rng, docs, iters, 1+rng.Intn(20))
+		acc, err := newIterSets(seedT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := newIterSets(seedT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := 3 + rng.Intn(5)
+		for round := 0; round < rounds; round++ {
+			batch := randBatch(rng, docs, iters, rng.Intn(40))
+			out, err := newIterSets(batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			delta := acc.absorb(out)
+			odelta := out.minus(oracle)
+			oracle = oracle.plus(odelta)
+			if delta.size() != odelta.size() {
+				t.Fatalf("trial %d round %d: delta size %d, oracle %d", trial, round, delta.size(), odelta.size())
+			}
+			requireTablesIdentical(t, fmt.Sprintf("trial %d round %d delta", trial, round),
+				delta.table(nil), odelta.table(nil))
+			if acc.size() != oracle.size() {
+				t.Fatalf("trial %d round %d: accumulated size %d, oracle %d", trial, round, acc.size(), oracle.size())
+			}
+			requireTablesIdentical(t, fmt.Sprintf("trial %d round %d accumulated", trial, round),
+				acc.table(nil), oracle.table(nil))
+		}
+	}
+}
+
+// TestIterSetsAbsorbEmptyBatch: absorbing an already-known batch returns
+// an empty delta and leaves the accumulated family untouched.
+func TestIterSetsAbsorbEmptyBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	docs := []*xdm.Document{randDoc(rng, 40, "a.xml")}
+	iters := []xdm.Item{xdm.NewInteger(1), xdm.NewInteger(2)}
+	seedT := randBatch(rng, docs, iters, 25)
+	acc, err := newIterSets(seedT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := acc.size()
+	replay, err := newIterSets(seedT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := acc.absorb(replay)
+	if delta.size() != 0 {
+		t.Fatalf("re-absorbing known nodes produced a delta of %d", delta.size())
+	}
+	if acc.size() != before {
+		t.Fatalf("size changed: %d -> %d", before, acc.size())
+	}
+}
+
+// TestRowSetPackedMatchesGeneric: the packed pk fast path and the generic
+// ikey path agree on distinctness across mixed item kinds.
+func TestRowSetPackedMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	doc := randDoc(rng, 30, "a.xml")
+	mk := func() []xdm.Item {
+		switch rng.Intn(5) {
+		case 0:
+			return []xdm.Item{xdm.NewNode(xdm.NodeRef{D: doc, Pre: int32(rng.Intn(doc.Len()))})}
+		case 1:
+			return []xdm.Item{xdm.NewInteger(int64(rng.Intn(5)))}
+		case 2:
+			// Neighbors beyond 2⁵³: the ikey num field collapses them
+			// through float64, and the packed path must draw the exact
+			// same distinct-row boundaries.
+			return []xdm.Item{xdm.NewInteger(int64(1)<<53 + int64(rng.Intn(3)))}
+		case 3:
+			return []xdm.Item{xdm.NewString(fmt.Sprintf("s%d", rng.Intn(5)))}
+		default:
+			return []xdm.Item{xdm.NewBoolean(rng.Intn(2) == 0)}
+		}
+	}
+	for _, width := range []int{1, 2} {
+		set := newRowSet(width)
+		seen := map[string]bool{}
+		for i := 0; i < 500; i++ {
+			row := make([]xdm.Item, 0, width)
+			idx := make([]int, width)
+			for c := 0; c < width; c++ {
+				row = append(row, mk()[0])
+				idx[c] = c
+			}
+			// The oracle is the generic ikey identity — what every row
+			// used before the packed fast path existed.
+			key := ""
+			for _, c := range idx {
+				key += fmt.Sprintf("%#v\x01", itemIKey(row[c]))
+			}
+			got := set.insert(row, idx)
+			want := !seen[key]
+			seen[key] = true
+			if got != want {
+				t.Fatalf("width %d row %d (%s): insert = %v, want %v", width, i, key, got, want)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package algebra
 
 import (
+	"math"
 	"strings"
 
 	"repro/internal/xdm"
@@ -56,6 +57,50 @@ func itemIKey(it xdm.Item) ikey {
 // ikey2 and ikey3 are composite row keys.
 type ikey2 struct{ a, b ikey }
 type ikey3 struct{ a, b, c ikey }
+
+// nodeKey64 packs a node identity into a single word: the document's
+// global creation stamp in the high half, the preorder rank in the low.
+// Stamps are a monotone counter starting at 1; the packing is injective
+// for the first 2³² documents of a process, and the guard turns the
+// (constructor-heavy-server) overflow case into a loud failure instead of
+// silent key collisions in joins, dedup, and fixpoint accumulation.
+func nodeKey64(n xdm.NodeRef) uint64 {
+	stamp := uint64(n.D.Stamp())
+	if stamp>>32 != 0 {
+		panic("algebra: document stamp exceeds the packed node-key space (2^32 documents)")
+	}
+	return stamp<<32 | uint64(uint32(n.Pre))
+}
+
+// pk is a packed exact-identity key: a kind tag plus one word of payload.
+// Only kinds whose identity fits a word pack — nodes, integers, booleans;
+// strings (and doubles, whose NaN map semantics the ikey float field
+// deliberately preserves) fall back to the generic ikey path.
+type pk struct {
+	tag uint64 // 1 = node, 2 = integer, 3 = boolean
+	val uint64
+}
+
+// packItem reports whether the item's exact identity fits a pk. Integers
+// pack as the bits of their float64 image — the same collapse the ikey
+// num field applies — so packed and generic paths draw identical
+// distinct-row boundaries for every value, including integers beyond 2⁵³.
+func packItem(it xdm.Item) (pk, bool) {
+	switch it.Kind() {
+	case xdm.KNode:
+		return pk{1, nodeKey64(it.Node())}, true
+	case xdm.KInteger:
+		return pk{2, math.Float64bits(float64(it.Int()))}, true
+	case xdm.KBoolean:
+		if it.Bool() {
+			return pk{3, 1}, true
+		}
+		return pk{3, 0}, true
+	}
+	return pk{}, false
+}
+
+type pk2 struct{ a, b pk }
 
 // buildIKeys/probeIKeys realize general-comparison promotion through
 // multi-key insertion and probing (see the scheme documented on buildKeys).
@@ -113,9 +158,14 @@ func probeIKeys(it xdm.Item) []ikey {
 }
 
 // rowSet tracks distinct rows of width 1–3 without string building; wider
-// rows fall back to encoded strings.
+// rows fall back to encoded strings. Rows whose key items all pack (nodes,
+// integers, booleans — the loop-lifted iter|item shape) take the compact
+// pk maps; unpackable rows use the generic ikey maps. The two key spaces
+// cannot collide: a packable item's ikey never equals an unpackable one's.
 type rowSet struct {
 	w  int
+	p1 map[pk]struct{}
+	p2 map[pk2]struct{}
 	k1 map[ikey]struct{}
 	k2 map[ikey2]struct{}
 	k3 map[ikey3]struct{}
@@ -126,9 +176,9 @@ func newRowSet(width int) *rowSet {
 	s := &rowSet{w: width}
 	switch width {
 	case 1:
-		s.k1 = map[ikey]struct{}{}
+		s.p1 = map[pk]struct{}{}
 	case 2:
-		s.k2 = map[ikey2]struct{}{}
+		s.p2 = map[pk2]struct{}{}
 	case 3:
 		s.k3 = map[ikey3]struct{}{}
 	default:
@@ -141,20 +191,43 @@ func newRowSet(width int) *rowSet {
 func (s *rowSet) insert(row []xdm.Item, idx []int) bool {
 	switch s.w {
 	case 1:
+		if k, ok := packItem(row[idx[0]]); ok {
+			if _, dup := s.p1[k]; dup {
+				return false
+			}
+			s.p1[k] = struct{}{}
+			return true
+		}
 		k := itemIKey(row[idx[0]])
-		if _, ok := s.k1[k]; ok {
+		if _, dup := s.k1[k]; dup {
 			return false
+		}
+		if s.k1 == nil {
+			s.k1 = map[ikey]struct{}{}
 		}
 		s.k1[k] = struct{}{}
 	case 2:
+		ka, aok := packItem(row[idx[0]])
+		kb, bok := packItem(row[idx[1]])
+		if aok && bok {
+			k := pk2{ka, kb}
+			if _, dup := s.p2[k]; dup {
+				return false
+			}
+			s.p2[k] = struct{}{}
+			return true
+		}
 		k := ikey2{itemIKey(row[idx[0]]), itemIKey(row[idx[1]])}
-		if _, ok := s.k2[k]; ok {
+		if _, dup := s.k2[k]; dup {
 			return false
+		}
+		if s.k2 == nil {
+			s.k2 = map[ikey2]struct{}{}
 		}
 		s.k2[k] = struct{}{}
 	case 3:
 		k := ikey3{itemIKey(row[idx[0]]), itemIKey(row[idx[1]]), itemIKey(row[idx[2]])}
-		if _, ok := s.k3[k]; ok {
+		if _, dup := s.k3[k]; dup {
 			return false
 		}
 		s.k3[k] = struct{}{}
@@ -164,7 +237,7 @@ func (s *rowSet) insert(row []xdm.Item, idx []int) bool {
 			parts[i] = exactKey(row[c])
 		}
 		k := strings.Join(parts, "\x01")
-		if _, ok := s.ks[k]; ok {
+		if _, dup := s.ks[k]; dup {
 			return false
 		}
 		s.ks[k] = struct{}{}
@@ -172,9 +245,12 @@ func (s *rowSet) insert(row []xdm.Item, idx []int) bool {
 	return true
 }
 
-// rowCounter counts row multiplicities (bag difference).
+// rowCounter counts row multiplicities (bag difference), with the same
+// packed fast paths as rowSet.
 type rowCounter struct {
 	w  int
+	p1 map[pk]int
+	p2 map[pk2]int
 	k1 map[ikey]int
 	k2 map[ikey2]int
 	ks map[string]int
@@ -184,9 +260,9 @@ func newRowCounter(width int) *rowCounter {
 	c := &rowCounter{w: width}
 	switch width {
 	case 1:
-		c.k1 = map[ikey]int{}
+		c.p1 = map[pk]int{}
 	case 2:
-		c.k2 = map[ikey2]int{}
+		c.p2 = map[pk2]int{}
 	default:
 		c.ks = map[string]int{}
 	}
@@ -196,10 +272,27 @@ func newRowCounter(width int) *rowCounter {
 func (c *rowCounter) add(row []xdm.Item, idx []int, delta int) int {
 	switch c.w {
 	case 1:
+		if k, ok := packItem(row[idx[0]]); ok {
+			c.p1[k] += delta
+			return c.p1[k]
+		}
+		if c.k1 == nil {
+			c.k1 = map[ikey]int{}
+		}
 		k := itemIKey(row[idx[0]])
 		c.k1[k] += delta
 		return c.k1[k]
 	case 2:
+		ka, aok := packItem(row[idx[0]])
+		kb, bok := packItem(row[idx[1]])
+		if aok && bok {
+			k := pk2{ka, kb}
+			c.p2[k] += delta
+			return c.p2[k]
+		}
+		if c.k2 == nil {
+			c.k2 = map[ikey2]int{}
+		}
 		k := ikey2{itemIKey(row[idx[0]]), itemIKey(row[idx[1]])}
 		c.k2[k] += delta
 		return c.k2[k]

@@ -153,8 +153,19 @@ func docResolverFor(exp Experiment) (func(string) (*xdm.Document, error), int, e
 	}, len(xml), nil
 }
 
-// Run measures one experiment on both engines and both algorithms.
-func (r *Runner) Run(exp Experiment) (*Row, error) {
+// PreparedExperiment is an experiment with its document generated/parsed
+// and its query parsed, so individual cells can be measured without the
+// setup cost inside the timed region.
+type PreparedExperiment struct {
+	Exp      Experiment
+	DocBytes int
+	runner   *Runner
+	docs     func(string) (*xdm.Document, error)
+	module   *ast.Module
+}
+
+// Prepare generates and parses the experiment's document and query once.
+func (r *Runner) Prepare(exp Experiment) (*PreparedExperiment, error) {
 	docs, nbytes, err := docResolverFor(exp)
 	if err != nil {
 		return nil, err
@@ -163,7 +174,26 @@ func (r *Runner) Run(exp Experiment) (*Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	row := &Row{Exp: exp, DocBytes: nbytes}
+	return &PreparedExperiment{Exp: exp, DocBytes: nbytes, runner: r, docs: docs, module: m}, nil
+}
+
+// RunCell measures one (engine, algorithm) cell of the prepared
+// experiment. Engine is EngineInterp or EngineRelational.
+func (p *PreparedExperiment) RunCell(engine string, alg core.Algorithm) (Measurement, error) {
+	if engine == EngineRelational {
+		return p.runner.runRelational(p.module, alg, p.docs)
+	}
+	return p.runner.runInterp(p.module, alg, p.docs)
+}
+
+// Run measures one experiment on both engines and both algorithms.
+func (r *Runner) Run(exp Experiment) (*Row, error) {
+	p, err := r.Prepare(exp)
+	if err != nil {
+		return nil, err
+	}
+	m, docs := p.module, p.docs
+	row := &Row{Exp: exp, DocBytes: p.DocBytes}
 	for _, alg := range []core.Algorithm{core.Naive, core.Delta} {
 		im, err := r.runInterp(m, alg, docs)
 		if err != nil {

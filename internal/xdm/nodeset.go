@@ -1,0 +1,106 @@
+package xdm
+
+// NodeSet is a node-identity membership set with a two-tier representation
+// per document. Sparse sets live in a small preorder-rank hash set, so a
+// family of many NodeSets over a huge document (the relational µ keeps one
+// per live iteration) costs memory proportional to actual membership. Once
+// a document's member count crosses a density threshold, that document's
+// entries upgrade to a bitmap sized by Document.Len() — the pre/size/level
+// arenas are immutable and densely numbered, making the preorder rank a
+// perfect hash — and membership tests become a word index.
+//
+// The zero value is ready to use.
+type NodeSet struct {
+	docs map[*Document]*docSet
+	n    int
+}
+
+type docSet struct {
+	small map[int32]struct{} // sparse tier; nil once upgraded
+	bits  []uint64           // dense tier; nil while sparse
+}
+
+// smallDocBits bounds the documents that go straight to the dense tier:
+// up to 4096 nodes the full bitmap is at most 512 bytes — cheaper than
+// any hash set — so only genuinely large documents start sparse.
+const smallDocBits = 4096
+
+func newDocSet(d *Document) *docSet {
+	if d.Len() <= smallDocBits {
+		return &docSet{bits: make([]uint64, (d.Len()+63)/64)}
+	}
+	return &docSet{small: make(map[int32]struct{}, 8)}
+}
+
+// densifyAt returns the member count at which a large document's sparse
+// set upgrades to its bitmap: the point where the bitmap (Len/8 bytes)
+// stops being larger than the hash set (~48 bytes per entry).
+func densifyAt(d *Document) int {
+	return d.Len() / 48
+}
+
+// Len reports the number of member nodes.
+func (s *NodeSet) Len() int { return s.n }
+
+// Has reports membership of the node identity.
+func (s *NodeSet) Has(n NodeRef) bool {
+	ds, ok := s.docs[n.D]
+	if !ok {
+		return false
+	}
+	if ds.bits != nil {
+		return ds.bits[uint32(n.Pre)>>6]&(1<<(uint32(n.Pre)&63)) != 0
+	}
+	_, in := ds.small[n.Pre]
+	return in
+}
+
+// Add inserts the node identity, reporting whether it was new.
+func (s *NodeSet) Add(n NodeRef) bool {
+	ds, ok := s.docs[n.D]
+	if !ok {
+		if s.docs == nil {
+			s.docs = make(map[*Document]*docSet, 2)
+		}
+		ds = newDocSet(n.D)
+		s.docs[n.D] = ds
+	}
+	if ds.bits != nil {
+		word, mask := uint32(n.Pre)>>6, uint64(1)<<(uint32(n.Pre)&63)
+		if ds.bits[word]&mask != 0 {
+			return false
+		}
+		ds.bits[word] |= mask
+		s.n++
+		return true
+	}
+	if _, dup := ds.small[n.Pre]; dup {
+		return false
+	}
+	ds.small[n.Pre] = struct{}{}
+	s.n++
+	if len(ds.small) >= densifyAt(n.D) {
+		bits := make([]uint64, (n.D.Len()+63)/64)
+		for pre := range ds.small {
+			bits[uint32(pre)>>6] |= 1 << (uint32(pre) & 63)
+		}
+		ds.bits = bits
+		ds.small = nil
+	}
+	return true
+}
+
+// Reset empties the set, retaining upgraded bitmaps for reuse.
+func (s *NodeSet) Reset() {
+	for _, ds := range s.docs {
+		if ds.bits != nil {
+			for i := range ds.bits {
+				ds.bits[i] = 0
+			}
+		}
+		if ds.small != nil {
+			clear(ds.small)
+		}
+	}
+	s.n = 0
+}
