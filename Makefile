@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json vet clean
+.PHONY: all build test bench bench-json bench-store vet ci clean
 
 all: build test
 
@@ -15,13 +15,30 @@ test:
 vet:
 	$(GO) vet ./...
 
+# What CI runs (see .github/workflows/ci.yml).
+ci:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
 # The Table 2 cells tracked across PRs (see EXPERIMENTS.md, BENCH_1.json).
 bench:
 	$(GO) test -run '^$$' -bench 'IFPCore|BidderNetworkSmall' -benchmem
 
+# next-bench prints the first unused BENCH_<n>.json name, so snapshots
+# accrue as a trajectory instead of overwriting each other.
+define next-bench
+$$(n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; echo BENCH_$$n.json)
+endef
+
 # Machine-readable snapshot of the full-size experiments.
 bench-json:
-	$(GO) run ./cmd/ifpbench -json BENCH_snapshot.json
+	@out=$(next-bench); echo "writing $$out"; $(GO) run ./cmd/ifpbench -json $$out
+
+# Document store benchmarks: cold parse vs snapshot read vs mmap open,
+# plus cold-/warm-cache query latency.
+bench-store:
+	@out=$(next-bench); echo "writing $$out"; $(GO) run ./cmd/ifpbench -store -json $$out
 
 clean:
-	rm -f ifpbench xq distcheck xmlgen *.test BENCH_snapshot*.json
+	rm -f ifpbench xq xqd distcheck xmlgen *.test BENCH_snapshot*.json

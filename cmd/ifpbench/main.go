@@ -12,6 +12,10 @@
 //	ifpbench -json BENCH.json  # machine-readable snapshot (ns/op,
 //	                           # allocs/op, nodes-fed per cell) so the
 //	                           # perf trajectory is diffable across PRs
+//	ifpbench -store            # document store benchmarks: cold XML parse
+//	                           # vs snapshot read vs mmap open, plus
+//	                           # cold- vs warm-cache query latency
+//	ifpbench -store -json BENCH_2.json
 package main
 
 import (
@@ -29,12 +33,21 @@ import (
 
 func main() {
 	var (
-		expID    = flag.String("exp", "", "run a single experiment (id or name)")
-		list     = flag.Bool("list", false, "list experiments")
-		markdown = flag.Bool("markdown", false, "emit a markdown table")
-		jsonPath = flag.String("json", "", "write a machine-readable benchmark snapshot to this file")
+		expID     = flag.String("exp", "", "run a single experiment (id or name)")
+		list      = flag.Bool("list", false, "list experiments")
+		markdown  = flag.Bool("markdown", false, "emit a markdown table")
+		jsonPath  = flag.String("json", "", "write a machine-readable benchmark snapshot to this file")
+		storeMode = flag.Bool("store", false, "benchmark the document store open paths instead of Table 2")
 	)
 	flag.Parse()
+
+	if *storeMode {
+		if err := runStoreBench(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "ifpbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	exps := bench.Experiments()
 	if *list {

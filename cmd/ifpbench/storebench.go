@@ -1,0 +1,214 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	ifpxq "repro"
+	"repro/internal/store"
+	"repro/internal/xdm"
+	"repro/internal/xmldoc"
+	"repro/internal/xmlgen"
+)
+
+// storeWorkload is one document-open benchmark subject: the Table 2
+// document at the harness's default scale, plus (optionally) a fixpoint
+// query measured cold (snapshot loaded inside the timed region) and warm
+// (cache hit, document load excluded).
+type storeWorkload struct {
+	id    string
+	uri   string
+	query string
+	gen   func() string
+}
+
+func storeWorkloads() []storeWorkload {
+	return []storeWorkload{
+		{"T2.1", "auction.xml", "", func() string { return xmlgen.Auction(xmlgen.FromScale(0.001)) }},
+		{"T2.5", "play.xml", "", func() string { return xmlgen.Play(xmlgen.PlaySized()) }},
+		{"T2.6", "curriculum.xml", `
+for $c in doc("curriculum.xml")/curriculum/course
+where exists($c intersect (with $x seeded by $c recurse $x/id(./prerequisites/pre_code)))
+return $c/@code/string()`,
+			func() string { return xmlgen.Curriculum(xmlgen.CurriculumSized(400)) }},
+		// The hospital pair is the crisp cold-vs-warm demonstration: its
+		// fixpoint evaluation is cheap relative to the 30+ ms cold parse
+		// (and ~5 ms snapshot load), so the warm-cache cell shows query
+		// latency with document load excluded entirely.
+		{"T2.8", "hospital.xml", `
+count(with $x seeded by doc("hospital.xml")/hospital/patient[diagnosis = "hd"]
+recurse $x/parents/patient[diagnosis = "hd"])`,
+			func() string { return xmlgen.Hospital(xmlgen.HospitalSized(10000)) }},
+	}
+}
+
+// storeSink keeps benchmark results alive so document opens are not
+// optimized away.
+var storeSink *xdm.Document
+
+// runStoreBench measures, for every workload, the three document open
+// paths — cold XML parse, snapshot read, mmap open — and for workloads
+// with a query the end-to-end latency with a cold vs. warm document
+// cache. With jsonPath it appends the cells to a BENCH_<n>.json-style
+// snapshot; otherwise it prints a table with speedups over cold parse.
+func runStoreBench(jsonPath string) error {
+	dir, err := os.MkdirTemp("", "ifpbench-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	out := BenchFile{
+		Schema:    "ifpxq-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+	}
+	table := [][3]string{{"cell", "ns/op", "vs parse"}}
+
+	for _, w := range storeWorkloads() {
+		fmt.Fprintf(os.Stderr, "preparing %s (%s)…\n", w.id, w.uri)
+		xml := w.gen()
+		doc, err := xmldoc.ParseString(xml, w.uri)
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.id, err)
+		}
+		snapPath := filepath.Join(dir, w.uri+store.Ext)
+		if err := store.Save(snapPath, doc); err != nil {
+			return fmt.Errorf("%s: %w", w.id, err)
+		}
+		st, err := os.Stat(snapPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "  XML %d KiB, snapshot %d KiB, %d nodes\n",
+			len(xml)/1024, st.Size()/1024, doc.Len())
+
+		cells := []struct {
+			name string
+			fn   func() (*xdm.Document, error)
+		}{
+			{"parse", func() (*xdm.Document, error) { return xmldoc.ParseString(xml, w.uri) }},
+			{"load", func() (*xdm.Document, error) { return store.Load(snapPath) }},
+			{"mmap", func() (*xdm.Document, error) { return store.LoadMmap(snapPath) }},
+		}
+		var parseNs float64
+		for _, cell := range cells {
+			name := fmt.Sprintf("store/%s/%s/%s", w.id, w.uri, cell.name)
+			fmt.Fprintf(os.Stderr, "measuring %s…\n", name)
+			var benchErr error
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					d, err := cell.fn()
+					if err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+					storeSink = d
+				}
+			})
+			if benchErr != nil {
+				return fmt.Errorf("%s: %w", name, benchErr)
+			}
+			ns := float64(res.NsPerOp())
+			if cell.name == "parse" {
+				parseNs = ns
+			}
+			out.Entries = append(out.Entries, BenchEntry{
+				Name: name, Phase: "store", NsOp: ns,
+				BytesOp: res.AllocedBytesPerOp(), AllocsOp: res.AllocsPerOp(),
+			})
+			table = append(table, tableRow(name, ns, parseNs))
+		}
+
+		if w.query == "" {
+			continue
+		}
+		q, err := ifpxq.Parse(w.query)
+		if err != nil {
+			return fmt.Errorf("%s query: %w", w.id, err)
+		}
+		queryCells := []struct {
+			name string
+			fn   func(b *testing.B) error
+		}{
+			// Cold: a fresh cache every iteration, so each evaluation
+			// pays the snapshot load.
+			{"query-cold", func(b *testing.B) error {
+				for i := 0; i < b.N; i++ {
+					cold, err := ifpxq.OpenStore(ifpxq.StoreOptions{Dir: dir})
+					if err != nil {
+						return err
+					}
+					if _, err := q.Eval(ifpxq.Options{Store: cold}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+			// Warm: one shared pre-warmed cache — document load is
+			// entirely excluded from the measured latency.
+			{"query-warm", func(b *testing.B) error {
+				warm, err := ifpxq.OpenStore(ifpxq.StoreOptions{Dir: dir})
+				if err != nil {
+					return err
+				}
+				if _, err := q.Eval(ifpxq.Options{Store: warm}); err != nil {
+					return err
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := q.Eval(ifpxq.Options{Store: warm}); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+		}
+		for _, cell := range queryCells {
+			name := fmt.Sprintf("store/%s/%s/%s", w.id, w.uri, cell.name)
+			fmt.Fprintf(os.Stderr, "measuring %s…\n", name)
+			var benchErr error
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				if err := cell.fn(b); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			})
+			if benchErr != nil {
+				return fmt.Errorf("%s: %w", name, benchErr)
+			}
+			out.Entries = append(out.Entries, BenchEntry{
+				Name: name, Phase: "store", NsOp: float64(res.NsPerOp()),
+				BytesOp: res.AllocedBytesPerOp(), AllocsOp: res.AllocsPerOp(),
+			})
+			table = append(table, tableRow(name, float64(res.NsPerOp()), 0))
+		}
+	}
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+	}
+	for _, row := range table {
+		fmt.Printf("%-40s %15s %10s\n", row[0], row[1], row[2])
+	}
+	return nil
+}
+
+func tableRow(name string, ns, parseNs float64) [3]string {
+	speedup := ""
+	if parseNs > 0 && ns > 0 {
+		speedup = fmt.Sprintf("%.1fx", parseNs/ns)
+	}
+	return [3]string{name, fmt.Sprintf("%.0f", ns), speedup}
+}

@@ -8,22 +8,34 @@
 //	xmlgen -kind curriculum -n 800 > curriculum.xml
 //	xmlgen -kind hospital -n 50000 > hospital.xml
 //	xmlgen -kind play > play.xml
+//
+// With -snapshot the generated document is parsed and written as an arena
+// snapshot (internal/store format) instead, ready for xq -store / xqd:
+//
+//	xmlgen -kind auction -scale 0.01 -snapshot store/auction.xml.xqs
+//	xmlgen -kind play -xml store/play.xml -snapshot store/play.xml.xqs
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
+	"repro/internal/store"
+	"repro/internal/xmldoc"
 	"repro/internal/xmlgen"
 )
 
 func main() {
 	var (
-		kind  = flag.String("kind", "auction", "auction | curriculum | hospital | play")
-		scale = flag.Float64("scale", 0.01, "XMark-style scale factor (auction)")
-		n     = flag.Int("n", 800, "size: courses (curriculum) or patient records (hospital)")
-		seed  = flag.Int64("seed", 42, "generator seed")
+		kind     = flag.String("kind", "auction", "auction | curriculum | hospital | play")
+		scale    = flag.Float64("scale", 0.01, "XMark-style scale factor (auction)")
+		n        = flag.Int("n", 800, "size: courses (curriculum) or patient records (hospital)")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		snapshot = flag.String("snapshot", "", "write an arena snapshot (.xqs) to this path instead of printing XML")
+		xmlOut   = flag.String("xml", "", "with -snapshot: also write the XML text to this path")
 	)
 	flag.Parse()
 	var out string
@@ -48,5 +60,31 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xmlgen: unknown kind %q\n", *kind)
 		os.Exit(2)
 	}
-	fmt.Print(out)
+	if *snapshot == "" {
+		if *xmlOut != "" {
+			fatalIf(os.WriteFile(*xmlOut, []byte(out), 0o644))
+			return
+		}
+		fmt.Print(out)
+		return
+	}
+	// The document URI is the snapshot's base name without the .xqs
+	// extension — exactly what a Store serving that directory resolves.
+	uri := strings.TrimSuffix(filepath.Base(*snapshot), store.Ext)
+	doc, err := xmldoc.ParseString(out, uri)
+	fatalIf(err)
+	fatalIf(store.Save(*snapshot, doc))
+	if *xmlOut != "" {
+		fatalIf(os.WriteFile(*xmlOut, []byte(out), 0o644))
+	}
+	st := doc.Stats()
+	fmt.Fprintf(os.Stderr, "xmlgen: wrote %s: %d nodes, %d KiB arena (XML %d KiB)\n",
+		*snapshot, st.Nodes, st.ArenaBytes/1024, len(out)/1024)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xmlgen:", err)
+		os.Exit(1)
+	}
 }

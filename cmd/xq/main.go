@@ -1,12 +1,17 @@
 // Command xq evaluates an XQuery (with the paper's `with … seeded by …
 // recurse` inflationary fixed point form) against XML documents resolved
-// from a base directory.
+// from a persistent snapshot store and/or a base directory.
+//
+// fn:doc resolution order is explicit: the snapshot store (when -store is
+// given: <store>/<uri>.xqs, then <store>/<uri> as XML), then -dir, then an
+// error naming the URI and every path searched.
 //
 // Usage:
 //
 //	xq -q 'count(doc("data.xml")//item)' [-dir .] [-engine interp|rel]
 //	   [-mode auto|naive|delta] [-explain] [-stats]
 //	xq -f query.xq -dir testdata
+//	xq -q '...' -store snapshots/ -mmap -store-stats
 package main
 
 import (
@@ -19,13 +24,16 @@ import (
 
 func main() {
 	var (
-		queryText = flag.String("q", "", "query text")
-		queryFile = flag.String("f", "", "query file")
-		dir       = flag.String("dir", ".", "base directory for fn:doc URIs")
-		engine    = flag.String("engine", "interp", "engine: interp (tree-at-a-time) or rel (relational)")
-		mode      = flag.String("mode", "auto", "fixpoint algorithm: auto, naive, delta")
-		explain   = flag.Bool("explain", false, "print the relational plan instead of evaluating")
-		stats     = flag.Bool("stats", false, "print fixpoint instrumentation")
+		queryText  = flag.String("q", "", "query text")
+		queryFile  = flag.String("f", "", "query file")
+		dir        = flag.String("dir", ".", "base directory for fn:doc URIs")
+		storeDir   = flag.String("store", "", "snapshot store directory (searched before -dir)")
+		mmap       = flag.Bool("mmap", false, "open store snapshots via mmap")
+		storeStats = flag.Bool("store-stats", false, "print document cache statistics")
+		engine     = flag.String("engine", "interp", "engine: interp (tree-at-a-time) or rel (relational)")
+		mode       = flag.String("mode", "auto", "fixpoint algorithm: auto, naive, delta")
+		explain    = flag.Bool("explain", false, "print the relational plan instead of evaluating")
+		stats      = flag.Bool("stats", false, "print fixpoint instrumentation")
 	)
 	flag.Parse()
 
@@ -57,6 +65,15 @@ func main() {
 	}
 
 	opts := ifpxq.Options{Docs: ifpxq.DocsFromDir(*dir)}
+	var st *ifpxq.Store
+	if *storeDir != "" {
+		var err error
+		st, err = ifpxq.OpenStore(ifpxq.StoreOptions{Dir: *storeDir, Mmap: *mmap})
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = st
+	}
 	switch *engine {
 	case "rel", "relational":
 		opts.Engine = ifpxq.EngineRelational
@@ -80,6 +97,11 @@ func main() {
 		fatal(err)
 	}
 	fmt.Println(res.String())
+	if *storeStats && st != nil {
+		s := st.Cache().Stats()
+		fmt.Fprintf(os.Stderr, "store: hits=%d misses=%d evictions=%d docs=%d bytes=%d\n",
+			s.Hits, s.Misses, s.Evictions, s.Docs, s.Bytes)
+	}
 	if *stats {
 		for i, fp := range res.Fixpoints {
 			fmt.Fprintf(os.Stderr,

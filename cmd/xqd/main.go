@@ -1,0 +1,232 @@
+// Command xqd serves XQuery (with the paper's inflationary fixed point
+// operator) over HTTP against a persistent document store: fn:doc URIs
+// resolve snapshot-first through a shared bounded document cache, so a
+// warm document is never re-parsed and concurrent queries execute in
+// parallel over the same immutable arenas, each request pinning the
+// documents it touches for exactly its own lifetime.
+//
+// Usage:
+//
+//	xqd -store snapshots/ [-addr :8090] [-mmap] [-cache-bytes N] [-cache-docs N]
+//
+// Endpoints:
+//
+//	GET/POST /query?q=…&engine=interp|rel&mode=auto|naive|delta
+//	    evaluates q (POST bodies carry the query text when q is absent)
+//	    and returns JSON including elapsed_us and doc_wait_us — the part
+//	    of the latency spent resolving documents, 0 on a warm cache.
+//	GET /stats    cache counters plus per-document arena statistics
+//	GET /healthz  liveness probe
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	ifpxq "repro"
+	"repro/internal/store"
+	"repro/internal/xdm"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8090", "listen address")
+		storeDir   = flag.String("store", "", "snapshot store directory (required)")
+		mmap       = flag.Bool("mmap", false, "open snapshots via mmap")
+		cacheBytes = flag.Int64("cache-bytes", 0, "document cache byte budget (0 = unbounded)")
+		cacheDocs  = flag.Int("cache-docs", 0, "document cache entry budget (0 = unbounded)")
+		noParse    = flag.Bool("no-parse", false, "serve snapshots only, never parse XML")
+	)
+	flag.Parse()
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "xqd: -store is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	st, err := ifpxq.OpenStore(ifpxq.StoreOptions{
+		Dir: *storeDir, Mmap: *mmap,
+		MaxBytes: *cacheBytes, MaxDocs: *cacheDocs,
+		NoParseFallback: *noParse,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqd:", err)
+		os.Exit(1)
+	}
+	srv := newServer(st)
+	log.Printf("xqd: serving store %s on %s (mmap=%v)", *storeDir, *addr, *mmap)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// server shares one document store across all requests; net/http runs
+// each request on its own goroutine, so the cache's pinning and
+// singleflight are what make the parallel reads safe.
+type server struct {
+	store   *store.Store
+	started time.Time
+	queries atomic.Int64
+	mux     *http.ServeMux
+}
+
+func newServer(st *store.Store) *server {
+	s := &server{store: st, started: time.Now(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// queryResponse is the /query JSON shape.
+type queryResponse struct {
+	Result    string `json:"result"`
+	Count     int    `json:"count"`
+	ElapsedUs int64  `json:"elapsed_us"`
+	// DocWaitUs is the portion of ElapsedUs spent waiting for document
+	// resolution (snapshot load / XML parse / cache). On a cache hit it
+	// collapses to ~0: warm query latency excludes document load.
+	DocWaitUs int64          `json:"doc_wait_us"`
+	Fixpoints []fixpointJSON `json:"fixpoints,omitempty"`
+}
+
+type fixpointJSON struct {
+	Algorithm    string `json:"algorithm"`
+	Distributive bool   `json:"distributive"`
+	Executions   int    `json:"executions"`
+	Depth        int    `json:"depth"`
+	NodesFedBack int64  `json:"nodes_fed_back"`
+	ResultSize   int    `json:"result_size"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	src := r.URL.Query().Get("q")
+	if src == "" && r.Method == http.MethodPost {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		src = string(body)
+	}
+	if src == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query: pass ?q= or a POST body"))
+		return
+	}
+	opts := ifpxq.Options{}
+	switch r.URL.Query().Get("engine") {
+	case "", "interp", "interpreter":
+	case "rel", "relational":
+		opts.Engine = ifpxq.EngineRelational
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown engine %q", r.URL.Query().Get("engine")))
+		return
+	}
+	switch r.URL.Query().Get("mode") {
+	case "", "auto":
+	case "naive":
+		opts.Mode = ifpxq.ModeNaive
+	case "delta":
+		opts.Mode = ifpxq.ModeDelta
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", r.URL.Query().Get("mode")))
+		return
+	}
+
+	q, err := ifpxq.Parse(src)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Resolve through an explicit session (rather than Options.Store) so
+	// the handler can report how much of the latency was document I/O.
+	sess := s.store.Session()
+	defer sess.Close()
+	var docWait atomic.Int64
+	opts.Docs = func(uri string) (*xdm.Document, error) {
+		t0 := time.Now()
+		d, err := sess.Resolve(uri)
+		docWait.Add(time.Since(t0).Nanoseconds())
+		return d, err
+	}
+
+	start := time.Now()
+	res, err := q.Eval(opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if xdm.IsNotFound(err) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	s.queries.Add(1)
+	resp := queryResponse{
+		Result:    res.String(),
+		Count:     res.Count(),
+		ElapsedUs: elapsed.Microseconds(),
+		DocWaitUs: docWait.Load() / 1e3,
+	}
+	for _, fp := range res.Fixpoints {
+		resp.Fixpoints = append(resp.Fixpoints, fixpointJSON{
+			Algorithm:    fp.Algorithm.String(),
+			Distributive: fp.Distributive,
+			Executions:   fp.Executions,
+			Depth:        fp.Stats.Depth,
+			NodesFedBack: fp.Stats.NodesFedBack,
+			ResultSize:   fp.Stats.ResultSize,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse is the /stats JSON shape.
+type statsResponse struct {
+	UptimeS float64          `json:"uptime_s"`
+	Queries int64            `json:"queries"`
+	Store   storeJSON        `json:"store"`
+	Cache   store.CacheStats `json:"cache"`
+	Docs    []store.DocInfo  `json:"docs"`
+}
+
+type storeJSON struct {
+	Dir  string `json:"dir"`
+	Mmap bool   `json:"mmap"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeS: time.Since(s.started).Seconds(),
+		Queries: s.queries.Load(),
+		Store:   storeJSON{Dir: s.store.Dir(), Mmap: s.store.Mmap()},
+		Cache:   s.store.Cache().Stats(),
+		Docs:    s.store.Cache().Docs(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Code: string(xdm.CodeOf(err))})
+}

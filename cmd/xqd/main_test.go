@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/xmldoc"
+	"repro/internal/xmlgen"
+)
+
+func testServer(t *testing.T, opts store.Options) (*server, *httptest.Server) {
+	t.Helper()
+	dir := t.TempDir()
+	doc, err := xmldoc.ParseString(xmlgen.Curriculum(xmlgen.CurriculumSized(40)), "curriculum.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(filepath.Join(dir, "curriculum.xml"+store.Ext), doc); err != nil {
+		t.Fatal(err)
+	}
+	opts.Dir = dir
+	st, err := store.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(st)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+const fixpointQuery = `
+for $c in doc("curriculum.xml")/curriculum/course
+where exists($c intersect (with $x seeded by $c recurse $x/id(./prerequisites/pre_code)))
+return $c/@code/string()`
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	_, hs := testServer(t, store.Options{})
+	q := url.QueryEscape(fixpointQuery)
+
+	var first queryResponse
+	if code := getJSON(t, hs.URL+"/query?q="+q, &first); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(first.Fixpoints) == 0 {
+		t.Fatal("no fixpoint instrumentation in response")
+	}
+
+	// Same query on the relational engine must agree; warm cache must
+	// serve the document without any load wait.
+	var rel queryResponse
+	if code := getJSON(t, hs.URL+"/query?engine=rel&q="+q, &rel); code != http.StatusOK {
+		t.Fatalf("rel status %d", code)
+	}
+	if rel.Result != first.Result {
+		t.Fatalf("engines disagree: %q vs %q", rel.Result, first.Result)
+	}
+
+	var stats statsResponse
+	getJSON(t, hs.URL+"/stats", &stats)
+	if stats.Cache.Misses != 1 || stats.Cache.Hits < 1 {
+		t.Fatalf("cache stats %+v: want exactly 1 miss and ≥1 hit", stats.Cache)
+	}
+	if stats.Queries != 2 {
+		t.Fatalf("queries = %d, want 2", stats.Queries)
+	}
+	if len(stats.Docs) != 1 || stats.Docs[0].Stats.Nodes == 0 {
+		t.Fatalf("docs stats missing: %+v", stats.Docs)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	_, hs := testServer(t, store.Options{})
+	var e errorResponse
+	if code := getJSON(t, hs.URL+"/query?q="+url.QueryEscape(`doc("nope.xml")`), &e); code != http.StatusNotFound {
+		t.Fatalf("missing doc: status %d (%+v)", code, e)
+	}
+	if !strings.Contains(e.Error, "nope.xml") {
+		t.Fatalf("error does not name the URI: %q", e.Error)
+	}
+	if code := getJSON(t, hs.URL+"/query?q=%28%28", &e); code != http.StatusBadRequest {
+		t.Fatalf("syntax error: status %d", code)
+	}
+	if code := getJSON(t, hs.URL+"/query", &e); code != http.StatusBadRequest {
+		t.Fatalf("empty query: status %d", code)
+	}
+}
+
+// TestConcurrentQueries hammers one server from many goroutines — the
+// shared-arena parallel read path — and checks every response is
+// byte-identical to the sequential answer.
+func TestConcurrentQueries(t *testing.T) {
+	_, hs := testServer(t, store.Options{Mmap: true})
+	q := url.QueryEscape(fixpointQuery)
+	var want queryResponse
+	getJSON(t, hs.URL+"/query?q="+q, &want)
+
+	const workers, rounds = 8, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*rounds)
+	for w := 0; w < workers; w++ {
+		engine := "interp"
+		if w%2 == 1 {
+			engine = "rel"
+		}
+		wg.Add(1)
+		go func(engine string) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				var got queryResponse
+				resp, err := http.Get(hs.URL + "/query?engine=" + engine + "&q=" + q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				err = json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.Result != want.Result {
+					errs <- fmt.Errorf("%s: result diverged", engine)
+					return
+				}
+			}
+		}(engine)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

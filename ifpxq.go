@@ -21,6 +21,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/core"
 	"repro/internal/regularxpath"
+	"repro/internal/store"
 	"repro/internal/xdm"
 	"repro/internal/xmldoc"
 	"repro/internal/xq/ast"
@@ -54,6 +55,55 @@ const (
 // DocResolver resolves fn:doc URIs.
 type DocResolver = func(uri string) (*xdm.Document, error)
 
+// Store is a persistent document store: a directory of arena snapshots
+// (and XML files) served through a bounded, concurrency-safe document
+// cache. See OpenStore and internal/store.
+type Store = store.Store
+
+// StoreOptions configure OpenStore.
+type StoreOptions = store.Options
+
+// OpenStore opens a persistent document store rooted at opts.Dir. Set the
+// result as Options.Store to resolve fn:doc through its cache.
+func OpenStore(opts StoreOptions) (*Store, error) { return store.Open(opts) }
+
+// SaveSnapshot writes the document's arena snapshot to path (atomically),
+// so later loads skip XML parsing; by convention snapshots live next to
+// their XML under "<uri>.xqs".
+func SaveSnapshot(path string, d *xdm.Document) error { return store.Save(path, d) }
+
+// LoadSnapshot reads an arena snapshot. Mmap opens it zero-copy via mmap
+// (falling back to a plain read on platforms without mmap support).
+func LoadSnapshot(path string, mmap bool) (*xdm.Document, error) {
+	if mmap {
+		return store.LoadMmap(path)
+	}
+	return store.Load(path)
+}
+
+// DocsChain tries each resolver in order. A resolver that does not know a
+// URI signals so with a not-found error (xdm.IsNotFound) and the chain
+// falls through; any other error — a parse failure, a corrupt snapshot —
+// aborts immediately. When every resolver misses, the error names the URI
+// and repeats each resolver's search path.
+func DocsChain(resolvers ...DocResolver) DocResolver {
+	return func(uri string) (*xdm.Document, error) {
+		var attempts []string
+		for _, r := range resolvers {
+			d, err := r(uri)
+			if err == nil {
+				return d, nil
+			}
+			if !xdm.IsNotFound(err) {
+				return nil, err
+			}
+			attempts = append(attempts, err.Error())
+		}
+		return nil, xdm.NotFoundf("document %q not found: %s",
+			uri, strings.Join(attempts, "; "))
+	}
+}
+
 // Options configure evaluation.
 type Options struct {
 	Engine        Engine
@@ -63,8 +113,27 @@ type Options struct {
 	// relational engine's auto decision (default false = extended rules).
 	StrictAlgebraicCheck bool
 	Docs                 DocResolver
+	// Store, when set, resolves fn:doc through the persistent document
+	// store's cache: every document the evaluation touches is pinned in
+	// the cache (stable node identity, no eviction mid-query) until the
+	// evaluation returns. URIs the store does not know fall through to
+	// Docs when that is also set.
+	Store *store.Store
 	// ContextItem sets the initial context item (interpreter only).
 	ContextItem *xdm.Item
+}
+
+// resolver builds the effective fn:doc resolver for one evaluation and
+// returns a cleanup releasing any store pins it acquired.
+func (o *Options) resolver() (DocResolver, func()) {
+	if o.Store == nil {
+		return o.Docs, func() {}
+	}
+	sess := o.Store.Session()
+	if o.Docs == nil {
+		return sess.Resolve, sess.Close
+	}
+	return DocsChain(sess.Resolve, o.Docs), sess.Close
 }
 
 // Query is a parsed query, reusable across evaluations.
@@ -199,6 +268,8 @@ func (r *Result) Count() int { return len(r.Items) }
 
 // Eval evaluates the query under the given options.
 func (q *Query) Eval(opts Options) (*Result, error) {
+	docs, done := opts.resolver()
+	defer done()
 	switch opts.Engine {
 	case EngineRelational:
 		mode := algebra.ModeAuto
@@ -210,7 +281,7 @@ func (q *Query) Eval(opts Options) (*Result, error) {
 		}
 		en, err := algebra.NewEngine(q.module, algebra.Options{
 			Mode: mode, MaxIterations: opts.MaxIterations,
-			Strict: opts.StrictAlgebraicCheck, Docs: opts.Docs,
+			Strict: opts.StrictAlgebraicCheck, Docs: docs,
 		})
 		if err != nil {
 			return nil, err
@@ -245,7 +316,7 @@ func (q *Query) Eval(opts Options) (*Result, error) {
 		}
 		en := interp.New(q.module, interp.Options{
 			Mode: mode, MaxIterations: opts.MaxIterations,
-			Docs: opts.Docs, ContextItem: opts.ContextItem,
+			Docs: docs, ContextItem: opts.ContextItem,
 		})
 		out, err := en.Eval()
 		if err != nil {
@@ -286,7 +357,7 @@ func DocsFromStrings(byURI map[string]string) DocResolver {
 		}
 		src, ok := byURI[uri]
 		if !ok {
-			return nil, xdm.Errorf(xdm.ErrDoc, "unknown document %q", uri)
+			return nil, xdm.NotFoundf("doc(%q): not among the %d in-memory documents", uri, len(byURI))
 		}
 		d, err := xmldoc.ParseString(src, uri)
 		if err != nil {
@@ -303,7 +374,7 @@ func DocsFromDocuments(byURI map[string]*xdm.Document) DocResolver {
 		if d, ok := byURI[uri]; ok {
 			return d, nil
 		}
-		return nil, xdm.Errorf(xdm.ErrDoc, "unknown document %q", uri)
+		return nil, xdm.NotFoundf("doc(%q): not among the pre-parsed documents", uri)
 	}
 }
 
@@ -319,6 +390,9 @@ func DocsFromDir(dir string) DocResolver {
 			return nil, xdm.Errorf(xdm.ErrDoc, "document URI %q escapes %q", uri, dir)
 		}
 		f, err := os.Open(filepath.Join(dir, clean))
+		if os.IsNotExist(err) {
+			return nil, xdm.NotFoundf("doc(%q): no file %s", uri, filepath.Join(dir, clean))
+		}
 		if err != nil {
 			return nil, xdm.Errorf(xdm.ErrDoc, "doc(%q): %v", uri, err)
 		}

@@ -1,0 +1,292 @@
+package store
+
+import (
+	"sync"
+
+	"repro/internal/xdm"
+)
+
+// Loader loads a document on a cache miss.
+type Loader func(uri string) (*xdm.Document, error)
+
+// CacheOptions configure a Cache.
+type CacheOptions struct {
+	// Loader is called on misses (required).
+	Loader Loader
+	// MaxBytes bounds the cached arena bytes (Document.Stats().ArenaBytes
+	// accounting); 0 means unbounded.
+	MaxBytes int64
+	// MaxDocs bounds the number of cached documents; 0 means unbounded.
+	MaxDocs int
+}
+
+// CacheStats is a point-in-time snapshot of cache counters.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Errors    int64 `json:"errors"`    // loader failures (not cached)
+	Evictions int64 `json:"evictions"` // documents dropped by LRU pressure
+	Docs      int   `json:"docs"`      // resident documents
+	Pinned    int   `json:"pinned"`    // documents currently pinned by sessions
+	Bytes     int64 `json:"bytes"`     // resident arena bytes
+	MaxBytes  int64 `json:"max_bytes"`
+	MaxDocs   int   `json:"max_docs"`
+}
+
+// Cache is a concurrency-safe bounded document cache: LRU eviction over
+// byte and document-count budgets, pinning so documents stay resident
+// (and keep stable node identity) while queries hold them, and
+// singleflight loading so a stampede on one URI parses it once.
+//
+// Pinned documents are never evicted; when every resident document is
+// pinned the cache overshoots its budget rather than failing queries,
+// and sheds the excess as pins are released.
+type Cache struct {
+	mu      sync.Mutex
+	opts    CacheOptions
+	entries map[string]*entry
+	flights map[string]*flight
+	// LRU list: head.next is most recently used, head.prev is the
+	// eviction candidate. head is a sentinel.
+	head  entry
+	bytes int64
+
+	hits, misses, errors, evictions int64
+}
+
+type entry struct {
+	uri        string
+	doc        *xdm.Document
+	bytes      int64
+	pins       int
+	prev, next *entry
+}
+
+type flight struct {
+	done chan struct{}
+	doc  *xdm.Document
+	err  error
+}
+
+// NewCache builds a cache. It panics if opts.Loader is nil.
+func NewCache(opts CacheOptions) *Cache {
+	if opts.Loader == nil {
+		panic("store: NewCache requires a Loader")
+	}
+	c := &Cache{
+		opts:    opts,
+		entries: make(map[string]*entry),
+		flights: make(map[string]*flight),
+	}
+	c.head.next, c.head.prev = &c.head, &c.head
+	return c
+}
+
+func (c *Cache) unlink(e *entry) {
+	e.prev.next, e.next.prev = e.next, e.prev
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev, e.next = &c.head, c.head.next
+	e.prev.next, e.next.prev = e, e
+}
+
+// Pin is a pinned reference to a cached document. Release it when the
+// query holding it completes; Sessions do this in bulk.
+type Pin struct {
+	c        *Cache
+	e        *entry
+	released bool
+}
+
+// Doc returns the pinned document.
+func (p *Pin) Doc() *xdm.Document { return p.e.doc }
+
+// Release drops the pin (idempotent). Once a document's pin count falls
+// to zero it becomes evictable; excess bytes retained while it was
+// pinned are shed immediately.
+func (p *Pin) Release() {
+	if p.released {
+		return
+	}
+	p.released = true
+	c := p.c
+	c.mu.Lock()
+	p.e.pins--
+	if p.e.pins == 0 {
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+}
+
+// Acquire returns a pinned reference to the document for uri, loading it
+// through the cache's Loader on a miss. Concurrent Acquires of the same
+// absent URI share one loader call.
+func (c *Cache) Acquire(uri string) (*Pin, error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[uri]; ok {
+			c.hits++
+			e.pins++
+			c.unlink(e)
+			c.pushFront(e)
+			c.mu.Unlock()
+			return &Pin{c: c, e: e}, nil
+		}
+		if fl, ok := c.flights[uri]; ok {
+			c.mu.Unlock()
+			<-fl.done
+			if fl.err != nil {
+				return nil, fl.err
+			}
+			// The winner inserted the entry; re-acquire it (it may
+			// already have been evicted again under pressure, in which
+			// case we loop around and reload).
+			continue
+		}
+		fl := &flight{done: make(chan struct{})}
+		c.flights[uri] = fl
+		c.mu.Unlock()
+
+		doc, err := c.opts.Loader(uri)
+		var bytes int64
+		if err == nil {
+			bytes = doc.Stats().ArenaBytes
+		}
+
+		c.mu.Lock()
+		delete(c.flights, uri)
+		fl.doc, fl.err = doc, err
+		close(fl.done)
+		if err != nil {
+			c.errors++
+			c.mu.Unlock()
+			return nil, err
+		}
+		c.misses++
+		e := &entry{uri: uri, doc: doc, bytes: bytes, pins: 1}
+		c.entries[uri] = e
+		c.pushFront(e)
+		c.bytes += bytes
+		c.evictLocked()
+		c.mu.Unlock()
+		return &Pin{c: c, e: e}, nil
+	}
+}
+
+// evictLocked drops least-recently-used unpinned documents until the
+// cache is back under its budgets (or nothing evictable remains).
+func (c *Cache) evictLocked() {
+	over := func() bool {
+		return (c.opts.MaxBytes > 0 && c.bytes > c.opts.MaxBytes) ||
+			(c.opts.MaxDocs > 0 && len(c.entries) > c.opts.MaxDocs)
+	}
+	for e := c.head.prev; over() && e != &c.head; {
+		victim := e
+		e = e.prev
+		if victim.pins > 0 {
+			continue
+		}
+		c.unlink(victim)
+		delete(c.entries, victim.uri)
+		c.bytes -= victim.bytes
+		c.evictions++
+	}
+}
+
+// Contains reports whether uri is resident (no pin, no LRU touch).
+func (c *Cache) Contains(uri string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[uri]
+	return ok
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CacheStats{
+		Hits: c.hits, Misses: c.misses, Errors: c.errors, Evictions: c.evictions,
+		Docs: len(c.entries), Bytes: c.bytes,
+		MaxBytes: c.opts.MaxBytes, MaxDocs: c.opts.MaxDocs,
+	}
+	for _, e := range c.entries {
+		if e.pins > 0 {
+			s.Pinned++
+		}
+	}
+	return s
+}
+
+// DocInfo describes one resident document (monitoring endpoints).
+type DocInfo struct {
+	URI   string       `json:"uri"`
+	Pins  int          `json:"pins"`
+	Stats xdm.DocStats `json:"stats"`
+}
+
+// Docs lists resident documents in most-recently-used order.
+func (c *Cache) Docs() []DocInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]DocInfo, 0, len(c.entries))
+	for e := c.head.next; e != &c.head; e = e.next {
+		out = append(out, DocInfo{URI: e.uri, Pins: e.pins, Stats: e.doc.Stats()})
+	}
+	return out
+}
+
+// Session tracks the documents one query evaluation touches, holding one
+// pin per distinct URI so they stay resident — with stable node identity —
+// until Close. Safe for concurrent use (a parallel evaluator may resolve
+// from several goroutines).
+type Session struct {
+	c    *Cache
+	mu   sync.Mutex
+	pins map[string]*Pin
+}
+
+// Session opens a pin-tracking session on the cache.
+func (c *Cache) Session() *Session {
+	return &Session{c: c, pins: make(map[string]*Pin)}
+}
+
+// Resolve resolves a document URI through the cache, pinning it for the
+// session's lifetime. It has the engines' DocResolver shape.
+func (s *Session) Resolve(uri string) (*xdm.Document, error) {
+	s.mu.Lock()
+	if p, ok := s.pins[uri]; ok {
+		s.mu.Unlock()
+		return p.Doc(), nil
+	}
+	s.mu.Unlock()
+	// Load outside the session lock: concurrent Resolves of distinct
+	// URIs should overlap, and the cache does its own singleflight.
+	p, err := s.c.Acquire(uri)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.pins[uri]; ok {
+		// Another goroutine of this session won the race; keep its pin
+		// so the session sees one document identity per URI.
+		p.Release()
+		return prev.Doc(), nil
+	}
+	s.pins[uri] = p
+	return p.Doc(), nil
+}
+
+// Close releases every pin the session holds (idempotent).
+func (s *Session) Close() {
+	s.mu.Lock()
+	pins := s.pins
+	s.pins = make(map[string]*Pin)
+	s.mu.Unlock()
+	for _, p := range pins {
+		p.Release()
+	}
+}

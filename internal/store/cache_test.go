@@ -1,0 +1,375 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/xdm"
+	"repro/internal/xmldoc"
+	"repro/internal/xmlgen"
+)
+
+// countingLoader parses a tiny distinct document per URI and counts calls.
+func countingLoader(calls *int64) Loader {
+	return func(uri string) (*xdm.Document, error) {
+		atomic.AddInt64(calls, 1)
+		return xmldoc.ParseString(fmt.Sprintf("<doc name=%q><a/><b/></doc>", uri), uri)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	var calls int64
+	c := NewCache(CacheOptions{Loader: countingLoader(&calls), MaxDocs: 2})
+	get := func(uri string) {
+		t.Helper()
+		p, err := c.Acquire(uri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+	}
+	get("a")
+	get("b")
+	get("a") // touch a: b becomes LRU
+	get("c") // evicts b
+	if !c.Contains("a") || !c.Contains("c") || c.Contains("b") {
+		t.Fatalf("want {a,c} resident, have a=%v b=%v c=%v",
+			c.Contains("a"), c.Contains("b"), c.Contains("c"))
+	}
+	get("b") // reload
+	if calls != 4 {
+		t.Fatalf("loader calls = %d, want 4", calls)
+	}
+	s := c.Stats()
+	if s.Evictions != 2 || s.Misses != 4 || s.Hits != 1 || s.Docs != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestCacheByteBudget(t *testing.T) {
+	var calls int64
+	loader := countingLoader(&calls)
+	// Find one doc's footprint, then budget for exactly two.
+	probe, _ := loader("probe")
+	one := probe.Stats().ArenaBytes
+	c := NewCache(CacheOptions{Loader: loader, MaxBytes: 2*one + one/2})
+	for _, uri := range []string{"a", "b", "c"} {
+		p, err := c.Acquire(uri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Release()
+	}
+	s := c.Stats()
+	if s.Docs != 2 || s.Evictions != 1 {
+		t.Fatalf("stats %+v, want 2 resident 1 evicted", s)
+	}
+	if s.Bytes > c.opts.MaxBytes {
+		t.Fatalf("bytes %d over budget %d with nothing pinned", s.Bytes, c.opts.MaxBytes)
+	}
+}
+
+func TestCachePinnedNotEvicted(t *testing.T) {
+	var calls int64
+	c := NewCache(CacheOptions{Loader: countingLoader(&calls), MaxDocs: 1})
+	pa, err := c.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := c.Acquire("b") // over budget; a and b both pinned → overshoot
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains("a") || !c.Contains("b") {
+		t.Fatal("pinned documents were evicted")
+	}
+	if got := c.Stats().Pinned; got != 2 {
+		t.Fatalf("pinned = %d, want 2", got)
+	}
+	// Same URI while pinned must return the identical document (stable
+	// node identity during overlapping queries).
+	pa2, err := c.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa2.Doc() != pa.Doc() {
+		t.Fatal("second pin of a pinned URI returned a different document")
+	}
+	pa2.Release()
+	pa.Release() // a unpinned → shed to budget (evicts a, the LRU)
+	if c.Contains("a") || !c.Contains("b") {
+		t.Fatalf("want a evicted after release, b resident: a=%v b=%v",
+			c.Contains("a"), c.Contains("b"))
+	}
+	pb.Release()
+	if s := c.Stats(); s.Docs != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	var calls int64
+	gate := make(chan struct{})
+	c := NewCache(CacheOptions{Loader: func(uri string) (*xdm.Document, error) {
+		<-gate
+		atomic.AddInt64(&calls, 1)
+		return xmldoc.ParseString("<x/>", uri)
+	}})
+	const workers = 16
+	var wg sync.WaitGroup
+	docs := make([]*xdm.Document, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.Acquire("same.xml")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			docs[i] = p.Doc()
+			p.Release()
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("loader ran %d times for one URI, want 1", calls)
+	}
+	for i := 1; i < workers; i++ {
+		if docs[i] != docs[0] {
+			t.Fatal("stampeding acquirers got different documents")
+		}
+	}
+}
+
+func TestCacheLoaderErrorNotCached(t *testing.T) {
+	var calls int64
+	c := NewCache(CacheOptions{Loader: func(uri string) (*xdm.Document, error) {
+		atomic.AddInt64(&calls, 1)
+		return nil, xdm.NotFoundf("no %q", uri)
+	}})
+	for i := 0; i < 2; i++ {
+		if _, err := c.Acquire("missing.xml"); err == nil {
+			t.Fatal("want error")
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("loader calls = %d, want 2 (errors are not cached)", calls)
+	}
+	if s := c.Stats(); s.Errors != 2 || s.Docs != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestSessionPinsAndDedup(t *testing.T) {
+	var calls int64
+	c := NewCache(CacheOptions{Loader: countingLoader(&calls), MaxDocs: 1})
+	sess := c.Session()
+	d1, err := sess.Resolve("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Resolve("b"); err != nil { // overshoots, both pinned
+		t.Fatal(err)
+	}
+	d1again, err := sess.Resolve("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1again != d1 {
+		t.Fatal("session returned different documents for one URI")
+	}
+	if calls != 2 {
+		t.Fatalf("loader calls = %d, want 2", calls)
+	}
+	sess.Close()
+	if s := c.Stats(); s.Pinned != 0 || s.Docs != 1 {
+		t.Fatalf("after close: %+v", s)
+	}
+	sess.Close() // idempotent
+}
+
+func TestStoreResolutionOrder(t *testing.T) {
+	dir := t.TempDir()
+	xml := xmlgen.Curriculum(xmlgen.CurriculumSized(20))
+	d, err := xmldoc.ParseString(xml, "snap.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// snap.xml: snapshot only. plain.xml: XML only. both.xml: both, with
+	// DIFFERENT content in the snapshot — proving snapshot-first order.
+	if err := Save(filepath.Join(dir, "snap.xml"+Ext), d); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(dir, "plain.xml"), "<plain><a/></plain>")
+	writeFile(t, filepath.Join(dir, "both.xml"), "<fromxml/>")
+	dboth, err := xmldoc.ParseString("<fromsnap/>", "both.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(filepath.Join(dir, "both.xml"+Ext), dboth); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := s.Session()
+	defer sess.Close()
+
+	got, err := sess.Resolve("snap.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("snapshot-backed doc has %d nodes, want %d", got.Len(), d.Len())
+	}
+	if _, err := sess.Resolve("plain.xml"); err != nil {
+		t.Fatalf("XML fallback failed: %v", err)
+	}
+	both, err := sess.Resolve("both.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xmldoc.Serialize(both.Root()) != "<fromsnap/>" {
+		t.Fatalf("resolution order wrong: got %q, want the snapshot's content", xmldoc.Serialize(both.Root()))
+	}
+
+	_, err = sess.Resolve("missing.xml")
+	if err == nil || !xdm.IsNotFound(err) {
+		t.Fatalf("want not-found error, got %v", err)
+	}
+	for _, frag := range []string{"missing.xml", "snapshot", "file"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("not-found error %q does not name %q", err, frag)
+		}
+	}
+
+	// Escapes are rejected.
+	if _, err := sess.Resolve("../escape.xml"); err == nil {
+		t.Fatal("path escape accepted")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsTruncatedFiles(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{"empty.xqs": "", "tiny.xqs": "XQSNAP\x00\x01short"} {
+		path := filepath.Join(dir, name)
+		writeFile(t, path, content)
+		if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "truncated") {
+			t.Errorf("Load(%s): want truncation error, got %v", name, err)
+		}
+		if _, err := LoadMmap(path); err == nil {
+			t.Errorf("LoadMmap(%s): want error, got nil", name)
+		}
+	}
+}
+
+func TestSaveCreatesParentDirs(t *testing.T) {
+	d, err := xmldoc.ParseString("<x><y/></x>", "x.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "a", "b", "x.xml"+Ext)
+	if err := Save(path, d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreUnreadableSnapshotIsHardError: a snapshot path that exists
+// but cannot be loaded must error out, not silently fall back to the
+// XML next to it (which could mask corruption with stale data).
+func TestStoreUnreadableSnapshotIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "d.xml"), "<fromxml/>")
+	// A directory where the snapshot file should be: os.Stat succeeds,
+	// loading fails.
+	if err := os.Mkdir(filepath.Join(dir, "d.xml"+Ext), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := s.Session()
+	defer sess.Close()
+	_, err = sess.Resolve("d.xml")
+	if err == nil {
+		t.Fatal("unreadable snapshot fell back to XML")
+	}
+	if xdm.IsNotFound(err) {
+		t.Fatalf("want hard error, got not-found: %v", err)
+	}
+}
+
+// TestMmapMappingReuse: reloading the same snapshot file must reuse the
+// retained mapping rather than accumulating one mapping per load.
+func TestMmapMappingReuse(t *testing.T) {
+	if !MmapSupported() {
+		t.Skip("no mmap on this platform")
+	}
+	d, err := xmldoc.ParseString("<m><n/></m>", "m.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.xml"+Ext)
+	if err := Save(path, d); err != nil {
+		t.Fatal(err)
+	}
+	count := func() int {
+		mapMu.Lock()
+		defer mapMu.Unlock()
+		n := 0
+		abs, _ := filepath.Abs(path)
+		for k := range mappings {
+			if k.path == abs {
+				n++
+			}
+		}
+		return n
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := LoadMmap(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := count(); got != 1 {
+		t.Fatalf("%d mappings for one file after 3 loads, want 1", got)
+	}
+	// A rewritten snapshot (same path, new content) must get a fresh
+	// mapping, not serve stale bytes.
+	d2, err := xmldoc.ParseString("<m2><n2/><n3/></m2>", "m.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // ensure mtime advances
+	if err := Save(path, d2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xmldoc.Serialize(got.Root()) != "<m2><n2/><n3/></m2>" {
+		t.Fatalf("stale mapping served after rewrite: %s", xmldoc.Serialize(got.Root()))
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !unix
+
+package store
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, func(), error) {
+	return nil, nil, errors.New("store: mmap not supported on this platform")
+}

@@ -1,0 +1,21 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only. The returned release function
+// unmaps; it must not run while any zero-copy view into the mapping is
+// still reachable (LoadMmap ties it to the Document's lifetime).
+func mmapFile(f *os.File, size int64) (data []byte, release func(), err error) {
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}

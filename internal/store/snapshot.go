@@ -1,0 +1,438 @@
+// Package store is the persistent document subsystem: a versioned binary
+// snapshot format for xdm document arenas (write once with xmlgen or any
+// parse, open in milliseconds thereafter), a zero-copy mmap open path, a
+// concurrency-safe bounded document cache with LRU eviction and query-time
+// pinning, and a directory-backed Store that resolves fn:doc URIs
+// snapshot-first with XML parsing as the fallback.
+//
+// Snapshot format (version 1, file extension ".xqs")
+//
+//	offset 0   magic   "XQSNAP\x00" (7 bytes) + version byte
+//	offset 8   header  8 little-endian uint64s:
+//	           nodeCount, nameCount, nameBlobLen, valueBlobLen,
+//	           idCount, idBlobLen, uriLen, payloadLen
+//	offset 72  payload sections, each starting at an 8-byte-aligned
+//	           offset (zero padding between sections):
+//	             uri        [uriLen]byte
+//	             kinds      [nodeCount]uint8
+//	             parents    [nodeCount]int32
+//	             sizes      [nodeCount]int32
+//	             levels     [nodeCount]int32
+//	             nameIDs    [nodeCount]uint32   index into the name table;
+//	                                            id 0 is the empty name
+//	             nameEnds   [nameCount]uint32   cumulative end offsets
+//	             nameBlob   [nameBlobLen]byte   interned name bytes
+//	             valueEnds  [nodeCount]uint64   cumulative end offsets
+//	             valueBlob  [valueBlobLen]byte  node content bytes
+//	             idPres     [idCount]int32      ID index, sorted by ID value
+//	             idEnds     [idCount]uint32     cumulative end offsets
+//	             idBlob     [idBlobLen]byte     ID value bytes
+//	trailer    CRC-32C (Castagnoli) of header + payload, stored in the
+//	           low half of an 8-byte little-endian word (alignment-
+//	           preserving; hardware-accelerated on amd64/arm64)
+//
+// The node vectors are columnar and fixed-width so an mmap'd snapshot is
+// consumed in place: integer vectors are reinterpreted as typed slices
+// (the 8-byte section alignment plus the page-aligned mapping make the
+// casts legal) and every name/value string is an unsafe zero-copy view
+// into the mapped blob — opening a snapshot allocates the node-record
+// array and the ID map, but never copies string data.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"unsafe"
+
+	"repro/internal/xdm"
+)
+
+// Version is the current snapshot format version.
+const Version = 1
+
+// Ext is the conventional snapshot file extension.
+const Ext = ".xqs"
+
+const (
+	magic      = "XQSNAP\x00"
+	headerLen  = 8 + 8*8 // magic+version, then 8 uint64 fields
+	trailerLen = 8
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+type header struct {
+	nodeCount    uint64
+	nameCount    uint64
+	nameBlobLen  uint64
+	valueBlobLen uint64
+	idCount      uint64
+	idBlobLen    uint64
+	uriLen       uint64
+	payloadLen   uint64
+}
+
+func align8(x uint64) uint64 { return (x + 7) &^ 7 }
+
+// sectionOffsets computes the payload-relative start offset of every
+// section from the header, mirroring the writer's layout exactly.
+func (h *header) sectionOffsets() (uri, kinds, parents, sizes, levels, nameIDs, nameEnds, nameBlob, valueEnds, valueBlob, idPres, idEnds, idBlob, end uint64) {
+	n := h.nodeCount
+	off := uint64(0)
+	next := func(size uint64) uint64 {
+		start := off
+		off = align8(start + size)
+		return start
+	}
+	uri = next(h.uriLen)
+	kinds = next(n)
+	parents = next(4 * n)
+	sizes = next(4 * n)
+	levels = next(4 * n)
+	nameIDs = next(4 * n)
+	nameEnds = next(4 * h.nameCount)
+	nameBlob = next(h.nameBlobLen)
+	valueEnds = next(8 * n)
+	valueBlob = next(h.valueBlobLen)
+	idPres = next(4 * h.idCount)
+	idEnds = next(4 * h.idCount)
+	idBlob = next(h.idBlobLen)
+	end = off
+	return
+}
+
+// WriteSnapshot serializes the document to w in snapshot format.
+func WriteSnapshot(w io.Writer, d *xdm.Document) error {
+	n := d.Len()
+
+	// Columnarize the arena: intern names, concatenate values.
+	kinds := make([]byte, n)
+	parents := make([]byte, 4*n)
+	sizes := make([]byte, 4*n)
+	levels := make([]byte, 4*n)
+	nameIDs := make([]byte, 4*n)
+	valueEnds := make([]byte, 8*n)
+	nameTable := map[string]uint32{"": 0}
+	nameList := []string{""}
+	var valueBlob []byte
+	d.VisitArena(func(pre int, kind xdm.NodeKind, name, value string, parent, size, level int32) {
+		kinds[pre] = byte(kind)
+		binary.LittleEndian.PutUint32(parents[4*pre:], uint32(parent))
+		binary.LittleEndian.PutUint32(sizes[4*pre:], uint32(size))
+		binary.LittleEndian.PutUint32(levels[4*pre:], uint32(level))
+		id, ok := nameTable[name]
+		if !ok {
+			id = uint32(len(nameList))
+			nameTable[name] = id
+			nameList = append(nameList, name)
+		}
+		binary.LittleEndian.PutUint32(nameIDs[4*pre:], id)
+		valueBlob = append(valueBlob, value...)
+		binary.LittleEndian.PutUint64(valueEnds[8*pre:], uint64(len(valueBlob)))
+	})
+
+	nameEnds := make([]byte, 4*len(nameList))
+	var nameBlob []byte
+	for i, name := range nameList {
+		nameBlob = append(nameBlob, name...)
+		binary.LittleEndian.PutUint32(nameEnds[4*i:], uint32(len(nameBlob)))
+	}
+
+	// ID index, sorted by ID value so snapshots are deterministic.
+	type idEntry struct {
+		id  string
+		pre int32
+	}
+	var ids []idEntry
+	d.VisitIDs(func(id string, pre int32) { ids = append(ids, idEntry{id, pre}) })
+	sort.Slice(ids, func(i, j int) bool { return ids[i].id < ids[j].id })
+	idPres := make([]byte, 4*len(ids))
+	idEnds := make([]byte, 4*len(ids))
+	var idBlob []byte
+	for i, e := range ids {
+		binary.LittleEndian.PutUint32(idPres[4*i:], uint32(e.pre))
+		idBlob = append(idBlob, e.id...)
+		binary.LittleEndian.PutUint32(idEnds[4*i:], uint32(len(idBlob)))
+	}
+
+	h := header{
+		nodeCount:    uint64(n),
+		nameCount:    uint64(len(nameList)),
+		nameBlobLen:  uint64(len(nameBlob)),
+		valueBlobLen: uint64(len(valueBlob)),
+		idCount:      uint64(len(ids)),
+		idBlobLen:    uint64(len(idBlob)),
+		uriLen:       uint64(len(d.URI)),
+	}
+	_, _, _, _, _, _, _, _, _, _, _, _, _, end := h.sectionOffsets()
+	h.payloadLen = end
+
+	hdr := make([]byte, headerLen)
+	copy(hdr, magic)
+	hdr[7] = Version
+	for i, v := range []uint64{h.nodeCount, h.nameCount, h.nameBlobLen, h.valueBlobLen,
+		h.idCount, h.idBlobLen, h.uriLen, h.payloadLen} {
+		binary.LittleEndian.PutUint64(hdr[8+8*i:], v)
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+
+	// Stream header + payload through the checksum: covering the header
+	// means corrupted section sizes are caught before the decoder trusts
+	// them.
+	crc := crc32.New(crcTable)
+	crc.Write(hdr)
+	pw := &paddedWriter{w: io.MultiWriter(w, crc)}
+	for _, section := range [][]byte{
+		[]byte(d.URI), kinds, parents, sizes, levels, nameIDs,
+		nameEnds, nameBlob, valueEnds, valueBlob, idPres, idEnds, idBlob,
+	} {
+		if err := pw.writeSection(section); err != nil {
+			return err
+		}
+	}
+	if pw.off != h.payloadLen {
+		return fmt.Errorf("store: internal error: wrote %d payload bytes, expected %d", pw.off, h.payloadLen)
+	}
+	var trailer [trailerLen]byte
+	binary.LittleEndian.PutUint64(trailer[:], uint64(crc.Sum32()))
+	_, err := w.Write(trailer[:])
+	return err
+}
+
+// paddedWriter writes sections followed by zero padding to the next
+// 8-byte boundary, tracking the payload offset.
+type paddedWriter struct {
+	w   io.Writer
+	off uint64
+}
+
+var zeros [8]byte
+
+func (p *paddedWriter) writeSection(b []byte) error {
+	if _, err := p.w.Write(b); err != nil {
+		return err
+	}
+	p.off += uint64(len(b))
+	if pad := align8(p.off) - p.off; pad > 0 {
+		if _, err := p.w.Write(zeros[:pad]); err != nil {
+			return err
+		}
+		p.off += pad
+	}
+	return nil
+}
+
+// Save writes the document's snapshot to path atomically (temp file +
+// rename), creating parent directories as needed.
+func Save(path string, d *xdm.Document) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".xqs-tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := WriteSnapshot(tmp, d); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Load reads a snapshot file fully into memory and decodes it. The
+// returned document's strings reference the read buffer (no per-string
+// copies).
+func Load(path string) (*xdm.Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < headerLen+trailerLen {
+		return nil, fmt.Errorf("store: %s: snapshot truncated (%d bytes)", path, st.Size())
+	}
+	// Allocate via []uint64 so the buffer base is 8-byte aligned and the
+	// decoder's typed-slice casts are legal.
+	words := make([]uint64, (st.Size()+7)/8)
+	data := unsafe.Slice((*byte)(unsafe.Pointer(&words[0])), st.Size())
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, fmt.Errorf("store: read %s: %w", path, err)
+	}
+	d, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// Decode decodes a snapshot image. The returned document's strings are
+// zero-copy views into data; the caller must not mutate it afterwards.
+func Decode(data []byte) (*xdm.Document, error) {
+	if len(data) < headerLen+trailerLen {
+		return nil, fmt.Errorf("snapshot truncated (%d bytes)", len(data))
+	}
+	if string(data[:7]) != magic {
+		return nil, fmt.Errorf("not a snapshot (bad magic)")
+	}
+	if data[7] != Version {
+		return nil, fmt.Errorf("snapshot version %d, want %d", data[7], Version)
+	}
+	var h header
+	fields := []*uint64{&h.nodeCount, &h.nameCount, &h.nameBlobLen, &h.valueBlobLen,
+		&h.idCount, &h.idBlobLen, &h.uriLen, &h.payloadLen}
+	for i, p := range fields {
+		*p = binary.LittleEndian.Uint64(data[8+8*i:])
+	}
+	if h.payloadLen > uint64(len(data)) ||
+		uint64(len(data)) != headerLen+h.payloadLen+trailerLen {
+		return nil, fmt.Errorf("snapshot size %d does not match header payload length %d", len(data), h.payloadLen)
+	}
+	payload := data[headerLen : headerLen+h.payloadLen]
+	want := binary.LittleEndian.Uint64(data[headerLen+h.payloadLen:])
+	if got := uint64(crc32.Checksum(data[:headerLen+h.payloadLen], crcTable)); got != want {
+		return nil, fmt.Errorf("snapshot checksum mismatch (corrupted file): got %08x want %08x", got, want)
+	}
+
+	uriOff, kindsOff, parentsOff, sizesOff, levelsOff, nameIDsOff, nameEndsOff,
+		nameBlobOff, valueEndsOff, valueBlobOff, idPresOff, idEndsOff, idBlobOff, end := h.sectionOffsets()
+	if end != h.payloadLen {
+		return nil, fmt.Errorf("snapshot sections (%d bytes) exceed payload (%d bytes)", end, h.payloadLen)
+	}
+	n := int(h.nodeCount)
+	uri := string(payload[uriOff : uriOff+h.uriLen])
+	kinds := payload[kindsOff : kindsOff+h.nodeCount]
+	parents := int32sAt(payload, parentsOff, n)
+	sizes := int32sAt(payload, sizesOff, n)
+	levels := int32sAt(payload, levelsOff, n)
+	nameIDs := uint32sAt(payload, nameIDsOff, n)
+	nameEnds := uint32sAt(payload, nameEndsOff, int(h.nameCount))
+	nameBlob := payload[nameBlobOff : nameBlobOff+h.nameBlobLen]
+	valueEnds := uint64sAt(payload, valueEndsOff, n)
+	valueBlob := payload[valueBlobOff : valueBlobOff+h.valueBlobLen]
+
+	// Materialize the (small) interned name table as zero-copy views.
+	names := make([]string, h.nameCount)
+	prev := uint32(0)
+	for i := range names {
+		end := nameEnds[i]
+		if end < prev || uint64(end) > h.nameBlobLen {
+			return nil, fmt.Errorf("snapshot name table offsets corrupt at entry %d", i)
+		}
+		names[i] = viewString(nameBlob[prev:end])
+		prev = end
+	}
+
+	loader := xdm.NewArenaLoader(uri, n)
+	var prevEnd uint64
+	for i := 0; i < n; i++ {
+		nameID := nameIDs[i]
+		if uint64(nameID) >= h.nameCount {
+			return nil, fmt.Errorf("snapshot node %d references unknown name id %d", i, nameID)
+		}
+		vend := valueEnds[i]
+		if vend < prevEnd || vend > h.valueBlobLen {
+			return nil, fmt.Errorf("snapshot value offsets corrupt at node %d", i)
+		}
+		loader.SetNode(i, xdm.NodeKind(kinds[i]), names[nameID],
+			viewString(valueBlob[prevEnd:vend]), parents[i], sizes[i], levels[i])
+		prevEnd = vend
+	}
+
+	idPres := int32sAt(payload, idPresOff, int(h.idCount))
+	idEnds := uint32sAt(payload, idEndsOff, int(h.idCount))
+	idBlob := payload[idBlobOff : idBlobOff+h.idBlobLen]
+	prev = 0
+	for i := 0; i < int(h.idCount); i++ {
+		end := idEnds[i]
+		if end < prev || uint64(end) > h.idBlobLen {
+			return nil, fmt.Errorf("snapshot ID offsets corrupt at entry %d", i)
+		}
+		loader.RegisterID(viewString(idBlob[prev:end]), idPres[i])
+		prev = end
+	}
+	return loader.Done()
+}
+
+// viewString returns a zero-copy string over b ("" for empty slices).
+// The string is valid as long as b's backing storage is.
+func viewString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}
+
+// littleEndianHost reports whether typed-slice casts read the snapshot's
+// little-endian vectors correctly on this machine.
+var littleEndianHost = func() bool {
+	x := uint16(1)
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+func aligned(b []byte, align uintptr) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%align == 0
+}
+
+// int32sAt returns the int32 vector of count entries starting at off:
+// a zero-copy reinterpretation on aligned little-endian hosts, a decoded
+// copy otherwise.
+func int32sAt(payload []byte, off uint64, count int) []int32 {
+	b := payload[off : off+uint64(4*count)]
+	if count == 0 {
+		return nil
+	}
+	if littleEndianHost && aligned(b, 4) {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), count)
+	}
+	out := make([]int32, count)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func uint32sAt(payload []byte, off uint64, count int) []uint32 {
+	b := payload[off : off+uint64(4*count)]
+	if count == 0 {
+		return nil
+	}
+	if littleEndianHost && aligned(b, 4) {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), count)
+	}
+	out := make([]uint32, count)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out
+}
+
+func uint64sAt(payload []byte, off uint64, count int) []uint64 {
+	b := payload[off : off+uint64(8*count)]
+	if count == 0 {
+		return nil
+	}
+	if littleEndianHost && aligned(b, 8) {
+		return unsafe.Slice((*uint64)(unsafe.Pointer(&b[0])), count)
+	}
+	out := make([]uint64, count)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/xdm"
+	"repro/internal/xmldoc"
+)
+
+// Options configure a Store.
+type Options struct {
+	// Dir is the directory searched for snapshots and XML documents.
+	Dir string
+	// Mmap opens snapshots by memory-mapping instead of reading them.
+	Mmap bool
+	// MaxBytes / MaxDocs bound the document cache (see CacheOptions).
+	MaxBytes int64
+	MaxDocs  int
+	// NoParseFallback disables parsing <dir>/<uri> as XML when no
+	// snapshot exists, making the store snapshot-only.
+	NoParseFallback bool
+}
+
+// Store resolves fn:doc URIs against a directory of snapshots and XML
+// files through a bounded document cache. Resolution order for URI u is
+// explicit: the snapshot <dir>/<u>.xqs (or <dir>/<u> itself when u
+// already ends in .xqs), then the XML file <dir>/<u>, then an error
+// naming the URI and every path searched.
+type Store struct {
+	opts  Options
+	cache *Cache
+}
+
+// Open validates the directory and builds the store and its cache.
+func Open(opts Options) (*Store, error) {
+	st, err := os.Stat(opts.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if !st.IsDir() {
+		return nil, fmt.Errorf("store: %s is not a directory", opts.Dir)
+	}
+	s := &Store{opts: opts}
+	s.cache = NewCache(CacheOptions{
+		Loader:   s.load,
+		MaxBytes: opts.MaxBytes,
+		MaxDocs:  opts.MaxDocs,
+	})
+	return s, nil
+}
+
+// Dir returns the store's base directory.
+func (s *Store) Dir() string { return s.opts.Dir }
+
+// Mmap reports whether the store opens snapshots via mmap.
+func (s *Store) Mmap() bool { return s.opts.Mmap && mmapSupported }
+
+// Cache exposes the store's document cache (stats, monitoring).
+func (s *Store) Cache() *Cache { return s.cache }
+
+// Session opens a pin-tracking resolution session; use its Resolve as
+// the engines' DocResolver and Close it when the query completes.
+func (s *Store) Session() *Session { return s.cache.Session() }
+
+// SnapshotPath returns the snapshot path that serves uri.
+func (s *Store) SnapshotPath(uri string) (string, error) {
+	clean, err := s.safeJoin(uri)
+	if err != nil {
+		return "", err
+	}
+	if strings.HasSuffix(clean, Ext) {
+		return clean, nil
+	}
+	return clean + Ext, nil
+}
+
+// Snapshot parses the XML file for uri (resolution order as usual,
+// snapshots excluded) and writes its snapshot, so subsequent loads take
+// the fast path. It returns the snapshot path.
+func (s *Store) Snapshot(uri string) (string, error) {
+	xmlPath, err := s.safeJoin(uri)
+	if err != nil {
+		return "", err
+	}
+	d, err := parseXMLFile(xmlPath, uri)
+	if err != nil {
+		return "", err
+	}
+	snapPath, err := s.SnapshotPath(uri)
+	if err != nil {
+		return "", err
+	}
+	if err := Save(snapPath, d); err != nil {
+		return "", fmt.Errorf("store: snapshot %s: %w", uri, err)
+	}
+	return snapPath, nil
+}
+
+// safeJoin resolves uri under the store directory, rejecting escapes.
+func (s *Store) safeJoin(uri string) (string, error) {
+	clean := filepath.Clean(filepath.FromSlash(uri))
+	if clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) || filepath.IsAbs(clean) {
+		return "", xdm.Errorf(xdm.ErrDoc, "document URI %q escapes store directory %q", uri, s.opts.Dir)
+	}
+	return filepath.Join(s.opts.Dir, clean), nil
+}
+
+// load is the cache loader: snapshot first, then XML, then a not-found
+// error that names everything searched.
+func (s *Store) load(uri string) (*xdm.Document, error) {
+	snapPath, err := s.SnapshotPath(uri)
+	if err != nil {
+		return nil, err
+	}
+	if _, statErr := os.Stat(snapPath); statErr == nil {
+		var d *xdm.Document
+		if s.opts.Mmap {
+			d, err = LoadMmap(snapPath)
+		} else {
+			d, err = Load(snapPath)
+		}
+		if err != nil {
+			// A present-but-unreadable snapshot is a hard error: falling
+			// back to the XML would mask corruption.
+			return nil, xdm.Errorf(xdm.ErrDoc, "doc(%q): %v", uri, err)
+		}
+		return d, nil
+	} else if !os.IsNotExist(statErr) {
+		// Same reasoning for a snapshot we cannot even stat (permission
+		// or I/O failure): surface it rather than serving the XML.
+		return nil, xdm.Errorf(xdm.ErrDoc, "doc(%q): snapshot %s: %v", uri, snapPath, statErr)
+	}
+	searched := []string{"snapshot " + snapPath}
+	if !s.opts.NoParseFallback && !strings.HasSuffix(uri, Ext) {
+		xmlPath, err := s.safeJoin(uri)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := os.Stat(xmlPath); err == nil {
+			return parseXMLFile(xmlPath, uri)
+		}
+		searched = append(searched, "file "+xmlPath)
+	}
+	return nil, xdm.NotFoundf("doc(%q): not in store (searched %s)", uri, strings.Join(searched, ", "))
+}
+
+func parseXMLFile(path, uri string) (*xdm.Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, xdm.Errorf(xdm.ErrDoc, "doc(%q): %v", uri, err)
+	}
+	defer f.Close()
+	return xmldoc.Parse(f, uri)
+}

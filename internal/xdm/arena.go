@@ -1,0 +1,156 @@
+package xdm
+
+import (
+	"unsafe"
+)
+
+// Arena field layout
+// ------------------
+//
+// A Document is a single flat arena of nodeData records in document
+// (preorder) rank; the snapshot subsystem (internal/store) must capture
+// exactly the following per-document state to reconstruct it:
+//
+//   - URI          the document URI (fn:document-uri)
+//   - nodes        one record per node, in preorder, holding
+//       kind     NodeKind  node kind (document/element/attribute/text/comment/PI)
+//       name     string    element/attribute name, PI target ("" otherwise)
+//       value    string    attribute value, text/comment/PI content ("" otherwise)
+//       parent   int32     preorder rank of the parent, -1 at the document node
+//       size     int32     arena slots occupied by the subtree, excluding self
+//       level    int32     depth (document node is level 0)
+//   - ids          ID attribute value -> element preorder rank (fn:id)
+//
+// The stamp is deliberately NOT part of the persistent image: it orders
+// documents within one process and is reassigned on load so that node
+// identity and `<<` stay consistent with documents created live.
+
+// DocStats summarizes a document's arena, for cache byte accounting and
+// monitoring endpoints. ArenaBytes is the approximate resident size: the
+// node record array plus all name/value/ID string bytes (string bytes are
+// counted once per node even when the backing storage is shared, e.g. a
+// snapshot blob or mmap'd file, so it is an upper bound there).
+type DocStats struct {
+	Nodes      int   // arena slots, including the document node and attributes
+	Elements   int   // element nodes
+	Attributes int   // attribute nodes
+	Texts      int   // text nodes
+	IDs        int   // registered ID attribute values
+	ArenaBytes int64 // approximate resident bytes of the arena
+}
+
+// Stats computes the document's DocStats, memoized on the document (it
+// is immutable once built, so the first computation is definitive).
+func (d *Document) Stats() DocStats {
+	d.statsOnce.Do(func() {
+		s := DocStats{Nodes: len(d.nodes), IDs: len(d.ids)}
+		var strBytes int64
+		for i := range d.nodes {
+			nd := &d.nodes[i]
+			switch nd.kind {
+			case ElementNode:
+				s.Elements++
+			case AttributeNode:
+				s.Attributes++
+			case TextNode:
+				s.Texts++
+			}
+			strBytes += int64(len(nd.name) + len(nd.value))
+		}
+		for id := range d.ids {
+			strBytes += int64(len(id)) + 8
+		}
+		s.ArenaBytes = int64(len(d.nodes))*int64(unsafe.Sizeof(nodeData{})) + strBytes
+		d.stats = s
+	})
+	return d.stats
+}
+
+// VisitArena calls visit for every node in preorder with the full arena
+// record (see the layout comment above). It is the export half of the
+// snapshot API.
+func (d *Document) VisitArena(visit func(pre int, kind NodeKind, name, value string, parent, size, level int32)) {
+	for i := range d.nodes {
+		nd := &d.nodes[i]
+		visit(i, nd.kind, nd.name, nd.value, nd.parent, nd.size, nd.level)
+	}
+}
+
+// VisitIDs calls visit for every registered ID attribute value. Order is
+// unspecified (map order).
+func (d *Document) VisitIDs(visit func(id string, pre int32)) {
+	for id, pre := range d.ids {
+		visit(id, pre)
+	}
+}
+
+// ArenaLoader reconstructs a Document from a captured arena image — the
+// import half of the snapshot API. Unlike Builder it fills records by
+// preorder rank directly, so a columnar snapshot can be decoded without
+// replaying document construction. The loaded document gets a fresh stamp.
+type ArenaLoader struct {
+	d    *Document
+	done bool
+}
+
+// NewArenaLoader starts a loader for a document of exactly nodeCount arena
+// slots (including the document node).
+func NewArenaLoader(uri string, nodeCount int) *ArenaLoader {
+	return &ArenaLoader{d: &Document{
+		URI:   uri,
+		stamp: nextStamp(),
+		nodes: make([]nodeData, nodeCount),
+		ids:   make(map[string]int32),
+	}}
+}
+
+// SetNode fills the arena record at preorder rank pre.
+func (l *ArenaLoader) SetNode(pre int, kind NodeKind, name, value string, parent, size, level int32) {
+	l.d.nodes[pre] = nodeData{kind: kind, name: name, value: value, parent: parent, size: size, level: level}
+}
+
+// RegisterID records an ID attribute value for the element at pre.
+func (l *ArenaLoader) RegisterID(id string, pre int32) {
+	l.d.ids[id] = pre
+}
+
+// Done validates the arena and returns the document. Validation covers the
+// structural invariants the axes rely on (beyond any snapshot checksum):
+// node 0 is the document node spanning the whole arena, every other node's
+// parent precedes it and contains it, and subtree sizes stay in range.
+func (l *ArenaLoader) Done() (*Document, error) {
+	if l.done {
+		panic("xdm: ArenaLoader.Done called twice")
+	}
+	l.done = true
+	d := l.d
+	n := int32(len(d.nodes))
+	if n == 0 {
+		return nil, Errorf(ErrDoc, "arena: empty node table")
+	}
+	if d.nodes[0].kind != DocumentNode || d.nodes[0].parent != -1 || d.nodes[0].size != n-1 {
+		return nil, Errorf(ErrDoc, "arena: node 0 is not a document node spanning %d nodes", n-1)
+	}
+	for i := int32(1); i < n; i++ {
+		nd := &d.nodes[i]
+		if nd.parent < 0 || nd.parent >= i {
+			return nil, Errorf(ErrDoc, "arena: node %d parent %d out of range", i, nd.parent)
+		}
+		if nd.size < 0 || i+nd.size >= n {
+			return nil, Errorf(ErrDoc, "arena: node %d size %d exceeds arena", i, nd.size)
+		}
+		p := &d.nodes[nd.parent]
+		if i+nd.size > nd.parent+p.size {
+			return nil, Errorf(ErrDoc, "arena: node %d subtree escapes parent %d", i, nd.parent)
+		}
+		if nd.level != p.level+1 {
+			return nil, Errorf(ErrDoc, "arena: node %d level %d under parent level %d", i, nd.level, p.level)
+		}
+	}
+	for id, pre := range d.ids {
+		if pre <= 0 || pre >= n || d.nodes[pre].kind != ElementNode {
+			return nil, Errorf(ErrDoc, "arena: ID %q maps to non-element node %d", id, pre)
+		}
+	}
+	return d, nil
+}

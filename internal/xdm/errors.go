@@ -25,6 +25,10 @@ const (
 type Error struct {
 	Code ErrCode
 	Msg  string
+	// NotFound marks fn:doc resolution misses — the URI is simply unknown
+	// to the resolver, as opposed to a retrieval or parse failure — so
+	// chained resolvers know they may fall through to the next source.
+	NotFound bool
 }
 
 // NewError builds an Error with the given code and message.
@@ -33,6 +37,17 @@ func NewError(code ErrCode, msg string) *Error { return &Error{Code: code, Msg: 
 // Errorf builds an Error with a formatted message.
 func Errorf(code ErrCode, format string, args ...any) *Error {
 	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// NotFoundf builds a document-retrieval Error marked as a resolution miss.
+func NotFoundf(format string, args ...any) *Error {
+	return &Error{Code: ErrDoc, Msg: fmt.Sprintf(format, args...), NotFound: true}
+}
+
+// IsNotFound reports whether err is a fn:doc resolution miss.
+func IsNotFound(err error) bool {
+	xe, ok := err.(*Error)
+	return ok && xe.NotFound
 }
 
 // Error implements the error interface.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -58,6 +59,8 @@ func (k NodeKind) String() string {
 // stable, implementation-defined inter-document order.
 var docStamp int64
 
+func nextStamp() int64 { return atomic.AddInt64(&docStamp, 1) }
+
 type nodeData struct {
 	kind   NodeKind
 	name   string // element/attribute name, PI target
@@ -74,6 +77,11 @@ type Document struct {
 	stamp int64
 	nodes []nodeData
 	ids   map[string]int32 // ID attribute value -> element pre
+
+	// statsOnce/stats memoize Stats(); derived, not part of the
+	// persistent arena image (see arena.go).
+	statsOnce sync.Once
+	stats     DocStats
 }
 
 // Len reports the number of nodes in the document, including the document
