@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-store vet ci clean
+.PHONY: all build test bench bench-json bench-store bench-parallel fuzz vet ci clean
 
 all: build test
 
@@ -15,11 +15,21 @@ test:
 vet:
 	$(GO) vet ./...
 
-# What CI runs (see .github/workflows/ci.yml).
+# What CI runs (see .github/workflows/ci.yml). The -race pass covers the
+# concurrent store/xqd tests and the parallel fixpoint pools; the plain
+# pass runs the differential-harness seed block (internal/difftest).
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz FUZZTIME=10s
+
+# Differential fuzzing: random documents + random fixpoint queries, every
+# engine/mode/worker-count combination must agree byte for byte. CI runs a
+# short smoke; leave FUZZTIME unset locally for an open-ended hunt.
+FUZZTIME ?= 60s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime $(FUZZTIME) ./internal/difftest
 
 # The Table 2 cells tracked across PRs (see EXPERIMENTS.md, BENCH_1.json).
 bench:
@@ -39,6 +49,11 @@ bench-json:
 # plus cold-/warm-cache query latency.
 bench-store:
 	@out=$(next-bench); echo "writing $$out"; $(GO) run ./cmd/ifpbench -store -json $$out
+
+# Worker-count sweep over the fixpoint workloads (see BENCH_3.json):
+# every cell measured at 1/2/4/8 fixpoint workers.
+bench-parallel:
+	@out=$(next-bench); echo "writing $$out"; $(GO) run ./cmd/ifpbench -parallel 1,2,4,8 -json $$out
 
 clean:
 	rm -f ifpbench xq xqd distcheck xmlgen *.test BENCH_snapshot*.json

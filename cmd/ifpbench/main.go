@@ -16,6 +16,11 @@
 //	                           # vs snapshot read vs mmap open, plus
 //	                           # cold- vs warm-cache query latency
 //	ifpbench -store -json BENCH_2.json
+//	ifpbench -p 4              # run with a 4-worker fixpoint pool
+//	ifpbench -parallel 1,2,4,8 -json BENCH_3.json
+//	                           # worker-count sweep over the fixpoint
+//	                           # workloads: one entry per (cell, p), names
+//	                           # suffixed /p=N, so speedups are diffable
 package main
 
 import (
@@ -24,6 +29,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -38,6 +45,8 @@ func main() {
 		markdown  = flag.Bool("markdown", false, "emit a markdown table")
 		jsonPath  = flag.String("json", "", "write a machine-readable benchmark snapshot to this file")
 		storeMode = flag.Bool("store", false, "benchmark the document store open paths instead of Table 2")
+		parallel  = flag.Int("p", 1, "fixpoint worker-pool width (0 = GOMAXPROCS)")
+		sweep     = flag.String("parallel", "", "comma-separated worker counts to sweep (e.g. 1,2,4,8); writes one entry per (cell, p)")
 	)
 	flag.Parse()
 
@@ -65,15 +74,31 @@ func main() {
 		exps = []bench.Experiment{e}
 	}
 
-	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, exps); err != nil {
+	if *sweep != "" {
+		counts, err := parseCounts(*sweep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ifpbench: %v\n", err)
+			os.Exit(2)
+		}
+		if *expID == "" {
+			exps = sweepDefaults()
+		}
+		if err := writeParallelSweep(*jsonPath, exps, counts); err != nil {
 			fmt.Fprintf(os.Stderr, "ifpbench: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	runner := &bench.Runner{}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, exps, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "ifpbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	runner := &bench.Runner{Parallelism: *parallel}
 	var rows []*bench.Row
 	for _, e := range exps {
 		fmt.Fprintf(os.Stderr, "running %s %s…\n", e.ID, e.Name)
@@ -118,22 +143,75 @@ type BenchFile struct {
 // cell its own testing.Benchmark run, with document generation/parsing
 // hoisted out of the timed region — and writes one entry per cell so
 // snapshots are diffable against BENCH_<n>.json trajectory entries.
-func writeJSON(path string, exps []bench.Experiment) error {
-	runner := &bench.Runner{}
-	out := BenchFile{
-		Schema:    "ifpxq-bench/v1",
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Go:        runtime.Version(),
-	}
+func writeJSON(path string, exps []bench.Experiment, parallelism int) error {
+	out := newBenchFile()
 	for _, e := range exps {
-		prep, err := runner.Prepare(e)
+		entries, err := measureExperiment(e, []int{parallelism}, false)
 		if err != nil {
-			return fmt.Errorf("%s: %w", e.ID, err)
+			return err
 		}
+		out.Entries = append(out.Entries, entries...)
+	}
+	return writeBenchFile(path, out)
+}
+
+// sweepDefaults is the worker-sweep experiment subset: the fixpoint
+// workloads whose round internals dominate, with the larger bidder
+// networks dropped to keep a full 1/2/4/8 sweep tractable.
+func sweepDefaults() []bench.Experiment {
+	var exps []bench.Experiment
+	for _, id := range []string{"T2.1", "T2.5", "T2.6", "T2.8"} {
+		if e, ok := bench.ExperimentByID(id); ok {
+			exps = append(exps, e)
+		}
+	}
+	return exps
+}
+
+// writeParallelSweep measures each cell once per requested worker count
+// and records the count in the entry name (…/p=N), so a snapshot holds
+// the whole scaling curve for every (experiment, engine, algorithm) cell.
+func writeParallelSweep(path string, exps []bench.Experiment, counts []int) error {
+	if path == "" {
+		return fmt.Errorf("-parallel requires -json <file>")
+	}
+	out := newBenchFile()
+	for _, e := range exps {
+		entries, err := measureExperiment(e, counts, true)
+		if err != nil {
+			return err
+		}
+		out.Entries = append(out.Entries, entries...)
+	}
+	return writeBenchFile(path, out)
+}
+
+// measureExperiment benchmarks one experiment's four cells at each worker
+// count. The document is generated and parsed once for the whole sweep;
+// only the runner's pool width changes between counts (RunCell reads it
+// at call time through the prepared experiment's runner pointer).
+func measureExperiment(e bench.Experiment, counts []int, tagP bool) ([]BenchEntry, error) {
+	var entries []BenchEntry
+	runner := &bench.Runner{}
+	prep, err := runner.Prepare(e)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	for _, p := range counts {
+		runner.Parallelism = p
 		for _, engine := range []string{bench.EngineInterp, bench.EngineRelational} {
 			for _, alg := range []core.Algorithm{core.Naive, core.Delta} {
 				name := fmt.Sprintf("%s/%s/%s/%s", e.ID, e.Name, engine, alg)
+				if tagP {
+					name = fmt.Sprintf("%s/p=%d", name, p)
+				}
 				fmt.Fprintf(os.Stderr, "measuring %s…\n", name)
+				// Collect between cells: an earlier cell's giant tables
+				// otherwise inflate the GC pacing target and tax every
+				// later cell — which skews exactly the cross-p comparisons
+				// a sweep exists to make.
+				runtime.GC()
+				runtime.GC()
 				var meas bench.Measurement
 				var runErr error
 				res := testing.Benchmark(func(b *testing.B) {
@@ -151,12 +229,12 @@ func writeJSON(path string, exps []bench.Experiment) error {
 					}
 				})
 				if runErr != nil {
-					return fmt.Errorf("%s: %w", name, runErr)
+					return nil, fmt.Errorf("%s: %w", name, runErr)
 				}
 				if res.N == 0 {
-					return fmt.Errorf("%s: benchmark produced no measurement", name)
+					return nil, fmt.Errorf("%s: benchmark produced no measurement", name)
 				}
-				out.Entries = append(out.Entries, BenchEntry{
+				entries = append(entries, BenchEntry{
 					Name:     name,
 					Phase:    "snapshot",
 					NsOp:     float64(res.NsPerOp()),
@@ -168,11 +246,35 @@ func writeJSON(path string, exps []bench.Experiment) error {
 			}
 		}
 	}
+	return entries, nil
+}
+
+func newBenchFile() BenchFile {
+	return BenchFile{
+		Schema:    "ifpxq-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+	}
+}
+
+func writeBenchFile(path string, out BenchFile) error {
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("bad worker count %q in -parallel", part)
+		}
+		counts = append(counts, p)
+	}
+	return counts, nil
 }
 
 func writeMarkdown(rows []*bench.Row) {

@@ -9,7 +9,7 @@
 // Usage:
 //
 //	xq -q 'count(doc("data.xml")//item)' [-dir .] [-engine interp|rel]
-//	   [-mode auto|naive|delta] [-explain] [-stats]
+//	   [-mode auto|naive|delta] [-p workers] [-explain] [-stats]
 //	xq -f query.xq -dir testdata
 //	xq -q '...' -store snapshots/ -mmap -store-stats
 package main
@@ -17,60 +17,78 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	ifpxq "repro"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment made explicit, so the CLI surface —
+// flag validation, store→dir resolution errors, -store-stats output — is
+// testable without spawning a process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xq", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		queryText  = flag.String("q", "", "query text")
-		queryFile  = flag.String("f", "", "query file")
-		dir        = flag.String("dir", ".", "base directory for fn:doc URIs")
-		storeDir   = flag.String("store", "", "snapshot store directory (searched before -dir)")
-		mmap       = flag.Bool("mmap", false, "open store snapshots via mmap")
-		storeStats = flag.Bool("store-stats", false, "print document cache statistics")
-		engine     = flag.String("engine", "interp", "engine: interp (tree-at-a-time) or rel (relational)")
-		mode       = flag.String("mode", "auto", "fixpoint algorithm: auto, naive, delta")
-		explain    = flag.Bool("explain", false, "print the relational plan instead of evaluating")
-		stats      = flag.Bool("stats", false, "print fixpoint instrumentation")
+		queryText  = fs.String("q", "", "query text")
+		queryFile  = fs.String("f", "", "query file")
+		dir        = fs.String("dir", ".", "base directory for fn:doc URIs")
+		storeDir   = fs.String("store", "", "snapshot store directory (searched before -dir)")
+		mmap       = fs.Bool("mmap", false, "open store snapshots via mmap")
+		storeStats = fs.Bool("store-stats", false, "print document cache statistics")
+		engine     = fs.String("engine", "interp", "engine: interp (tree-at-a-time) or rel (relational)")
+		mode       = fs.String("mode", "auto", "fixpoint algorithm: auto, naive, delta")
+		parallel   = fs.Int("p", 0, "fixpoint worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
+		explain    = fs.Bool("explain", false, "print the relational plan instead of evaluating")
+		stats      = fs.Bool("stats", false, "print fixpoint instrumentation")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fatal := func(err error) int {
+		fmt.Fprintln(stderr, "xq:", err)
+		return 1
+	}
 
 	src := *queryText
 	if *queryFile != "" {
 		data, err := os.ReadFile(*queryFile)
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		src = string(data)
 	}
 	if src == "" {
-		fmt.Fprintln(os.Stderr, "xq: provide a query with -q or -f")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "xq: provide a query with -q or -f")
+		fs.Usage()
+		return 2
 	}
 
 	q, err := ifpxq.Parse(src)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
 	if *explain {
 		plan, err := q.ExplainPlan()
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
-		fmt.Print(plan)
-		return
+		fmt.Fprint(stdout, plan)
+		return 0
 	}
 
-	opts := ifpxq.Options{Docs: ifpxq.DocsFromDir(*dir)}
+	opts := ifpxq.Options{Docs: ifpxq.DocsFromDir(*dir), Parallelism: *parallel}
 	var st *ifpxq.Store
 	if *storeDir != "" {
 		var err error
 		st, err = ifpxq.OpenStore(ifpxq.StoreOptions{Dir: *storeDir, Mmap: *mmap})
 		if err != nil {
-			fatal(err)
+			return fatal(err)
 		}
 		opts.Store = st
 	}
@@ -80,7 +98,7 @@ func main() {
 	case "interp", "interpreter":
 		opts.Engine = ifpxq.EngineInterpreter
 	default:
-		fatal(fmt.Errorf("unknown engine %q", *engine))
+		return fatal(fmt.Errorf("unknown engine %q", *engine))
 	}
 	switch *mode {
 	case "auto":
@@ -89,30 +107,26 @@ func main() {
 	case "delta":
 		opts.Mode = ifpxq.ModeDelta
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		return fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
 
 	res, err := q.Eval(opts)
 	if err != nil {
-		fatal(err)
+		return fatal(err)
 	}
-	fmt.Println(res.String())
+	fmt.Fprintln(stdout, res.String())
 	if *storeStats && st != nil {
 		s := st.Cache().Stats()
-		fmt.Fprintf(os.Stderr, "store: hits=%d misses=%d evictions=%d docs=%d bytes=%d\n",
+		fmt.Fprintf(stderr, "store: hits=%d misses=%d evictions=%d docs=%d bytes=%d\n",
 			s.Hits, s.Misses, s.Evictions, s.Docs, s.Bytes)
 	}
 	if *stats {
 		for i, fp := range res.Fixpoints {
-			fmt.Fprintf(os.Stderr,
+			fmt.Fprintf(stderr,
 				"fixpoint %d: %v distributive=%v executions=%d depth=%d fed-back=%d result=%d\n",
 				i+1, fp.Algorithm, fp.Distributive, fp.Executions,
 				fp.Stats.Depth, fp.Stats.NodesFedBack, fp.Stats.ResultSize)
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "xq:", err)
-	os.Exit(1)
+	return 0
 }

@@ -7,14 +7,16 @@
 //
 // Usage:
 //
-//	xqd -store snapshots/ [-addr :8090] [-mmap] [-cache-bytes N] [-cache-docs N]
+//	xqd -store snapshots/ [-addr :8090] [-mmap] [-cache-bytes N] [-cache-docs N] [-p workers]
 //
 // Endpoints:
 //
-//	GET/POST /query?q=…&engine=interp|rel&mode=auto|naive|delta
+//	GET/POST /query?q=…&engine=interp|rel&mode=auto|naive|delta&p=N
 //	    evaluates q (POST bodies carry the query text when q is absent)
 //	    and returns JSON including elapsed_us and doc_wait_us — the part
 //	    of the latency spent resolving documents, 0 on a warm cache.
+//	    p overrides the server's fixpoint worker-pool width for this
+//	    request; evaluation is cancelled when the client disconnects.
 //	GET /stats    cache counters plus per-document arena statistics
 //	GET /healthz  liveness probe
 package main
@@ -27,6 +29,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -43,6 +46,7 @@ func main() {
 		cacheBytes = flag.Int64("cache-bytes", 0, "document cache byte budget (0 = unbounded)")
 		cacheDocs  = flag.Int("cache-docs", 0, "document cache entry budget (0 = unbounded)")
 		noParse    = flag.Bool("no-parse", false, "serve snapshots only, never parse XML")
+		parallel   = flag.Int("p", 1, "default fixpoint worker-pool width per query (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -60,7 +64,8 @@ func main() {
 		os.Exit(1)
 	}
 	srv := newServer(st)
-	log.Printf("xqd: serving store %s on %s (mmap=%v)", *storeDir, *addr, *mmap)
+	srv.parallelism = *parallel
+	log.Printf("xqd: serving store %s on %s (mmap=%v, p=%d)", *storeDir, *addr, *mmap, *parallel)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }
 
@@ -68,14 +73,18 @@ func main() {
 // each request on its own goroutine, so the cache's pinning and
 // singleflight are what make the parallel reads safe.
 type server struct {
-	store   *store.Store
-	started time.Time
-	queries atomic.Int64
-	mux     *http.ServeMux
+	store *store.Store
+	// parallelism is the default per-query fixpoint worker-pool width;
+	// requests override it with ?p=. The server already parallelizes
+	// across requests, so the default keeps each query sequential.
+	parallelism int
+	started     time.Time
+	queries     atomic.Int64
+	mux         *http.ServeMux
 }
 
 func newServer(st *store.Store) *server {
-	s := &server{store: st, started: time.Now(), mux: http.NewServeMux()}
+	s := &server{store: st, parallelism: 1, started: time.Now(), mux: http.NewServeMux()}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -126,7 +135,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query: pass ?q= or a POST body"))
 		return
 	}
-	opts := ifpxq.Options{}
+	// Evaluation observes the request context: a disconnected client
+	// cancels its fixpoint rounds and drains the worker pool instead of
+	// computing an answer nobody reads.
+	opts := ifpxq.Options{Parallelism: s.parallelism, Context: r.Context()}
+	if pv := r.URL.Query().Get("p"); pv != "" {
+		p, err := strconv.Atoi(pv)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad worker count %q", pv))
+			return
+		}
+		opts.Parallelism = p
+	}
 	switch r.URL.Query().Get("engine") {
 	case "", "interp", "interpreter":
 	case "rel", "relational":

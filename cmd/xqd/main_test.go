@@ -107,6 +107,105 @@ func TestQueryErrors(t *testing.T) {
 	}
 }
 
+// TestConcurrentParallelQueries drives one xqd server with concurrent
+// requests that each run parallel fixpoint rounds (?p=2..4) over a cache
+// held at one document for a two-document working set, so worker pools
+// inside queries race against eviction/reload under pins across queries.
+// Every response must match the sequential (p=1) answer byte for byte.
+// Run under -race.
+func TestConcurrentParallelQueries(t *testing.T) {
+	dir := t.TempDir()
+	uris := []string{"curriculum.xml", "hospital.xml"}
+	xmls := []string{
+		xmlgen.Curriculum(xmlgen.CurriculumSized(60)),
+		xmlgen.Hospital(xmlgen.HospitalSized(200)),
+	}
+	qs := []string{
+		fixpointQuery,
+		`count(with $x seeded by doc("hospital.xml")/hospital/patient[diagnosis = "hd"]
+		 recurse $x/parents/patient[diagnosis = "hd"])`,
+	}
+	for i, uri := range uris {
+		doc, err := xmldoc.ParseString(xmls[i], uri)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.Save(filepath.Join(dir, uri+store.Ext), doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := store.Open(store.Options{Dir: dir, MaxDocs: 1, Mmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(st)
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	want := make([][]string, len(qs))
+	for i, q := range qs {
+		want[i] = make([]string, 2)
+		for e, engine := range []string{"interp", "rel"} {
+			var resp queryResponse
+			if code := getJSON(t, hs.URL+"/query?engine="+engine+"&p=1&q="+url.QueryEscape(q), &resp); code != http.StatusOK {
+				t.Fatalf("baseline q%d %s: status %d", i, engine, code)
+			}
+			want[i][e] = resp.Result
+		}
+	}
+
+	const workers, rounds = 10, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*rounds)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w + r) % len(qs)
+				e := (w + r/2) % 2
+				engine := []string{"interp", "rel"}[e]
+				p := 2 + (w+r)%3
+				hresp, err := http.Get(fmt.Sprintf("%s/query?engine=%s&p=%d&q=%s",
+					hs.URL, engine, p, url.QueryEscape(qs[i])))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var resp queryResponse
+				code := hresp.StatusCode
+				err = json.NewDecoder(hresp.Body).Decode(&resp)
+				hresp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if code != http.StatusOK {
+					errs <- fmt.Errorf("worker %d q%d %s p=%d: status %d", w, i, engine, p, code)
+					return
+				}
+				if resp.Result != want[i][e] {
+					errs <- fmt.Errorf("worker %d q%d %s p=%d: result diverged from p=1", w, i, engine, p)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if s := st.Cache().Stats(); s.Evictions == 0 {
+		t.Error("cache never evicted: capacity pressure not exercised")
+	}
+
+	var e errorResponse
+	if code := getJSON(t, hs.URL+"/query?p=nope&q="+url.QueryEscape(qs[0]), &e); code != http.StatusBadRequest {
+		t.Fatalf("bad p: status %d", code)
+	}
+}
+
 // TestConcurrentQueries hammers one server from many goroutines — the
 // shared-arena parallel read path — and checks every response is
 // byte-identical to the sequential answer.

@@ -14,6 +14,7 @@
 package ifpxq
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -121,6 +122,16 @@ type Options struct {
 	Store *store.Store
 	// ContextItem sets the initial context item (interpreter only).
 	ContextItem *xdm.Item
+	// Parallelism is the fixpoint-round worker-pool width shared by both
+	// engines: per-iteration absorption, step joins, and join probes in
+	// the relational µ/µ∆, and the accumulation in the interpreter's
+	// Naïve/Delta drivers, all shard across it. 0 = runtime.GOMAXPROCS(0),
+	// 1 = sequential. Results are byte-identical at every setting.
+	Parallelism int
+	// Context, when non-nil, cancels evaluation: fixpoint rounds observe
+	// it between rounds and inside sharded operators, and the worker pool
+	// is fully drained before the context's error is returned.
+	Context context.Context
 }
 
 // resolver builds the effective fn:doc resolver for one evaluation and
@@ -282,6 +293,7 @@ func (q *Query) Eval(opts Options) (*Result, error) {
 		en, err := algebra.NewEngine(q.module, algebra.Options{
 			Mode: mode, MaxIterations: opts.MaxIterations,
 			Strict: opts.StrictAlgebraicCheck, Docs: docs,
+			Parallelism: opts.Parallelism, Context: opts.Context,
 		})
 		if err != nil {
 			return nil, err
@@ -317,6 +329,7 @@ func (q *Query) Eval(opts Options) (*Result, error) {
 		en := interp.New(q.module, interp.Options{
 			Mode: mode, MaxIterations: opts.MaxIterations,
 			Docs: docs, ContextItem: opts.ContextItem,
+			Parallelism: opts.Parallelism, Context: opts.Context,
 		})
 		out, err := en.Eval()
 		if err != nil {

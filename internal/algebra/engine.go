@@ -1,6 +1,8 @@
 package algebra
 
 import (
+	"context"
+
 	"repro/internal/xdm"
 	"repro/internal/xq/ast"
 )
@@ -27,6 +29,12 @@ type Options struct {
 	// when false the extended rules (left input of `\`) apply.
 	Strict bool
 	Docs   func(uri string) (*xdm.Document, error)
+	// Parallelism is the worker-pool width for µ/µ∆ round internals
+	// (0 = GOMAXPROCS, 1 = sequential); results are byte-identical at
+	// every setting.
+	Parallelism int
+	// Context, when non-nil, cancels execution between and within rounds.
+	Context context.Context
 }
 
 // Engine evaluates a module through the relational pipeline: loop-lifting
@@ -67,7 +75,10 @@ func (e *Engine) Plan() *Plan { return e.plan }
 // Eval executes the plan and returns the result sequence plus fixpoint
 // instrumentation.
 func (e *Engine) Eval() (xdm.Sequence, []MuRun, error) {
-	ctx := &ExecContext{Docs: e.opts.Docs, MaxIterations: e.opts.MaxIterations}
+	ctx := &ExecContext{
+		Docs: e.opts.Docs, MaxIterations: e.opts.MaxIterations,
+		Parallelism: e.opts.Parallelism, Ctx: e.opts.Context,
+	}
 	t, err := Eval(e.plan.Root, ctx)
 	if err != nil {
 		return nil, ctx.MuRuns(), err

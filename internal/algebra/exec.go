@@ -1,12 +1,15 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/xdm"
 	"repro/internal/xq/ast"
 )
@@ -54,14 +57,34 @@ type ExecContext struct {
 	Docs func(uri string) (*xdm.Document, error)
 	// MaxIterations bounds fixpoint rounds (0 = core.DefaultMaxIterations).
 	MaxIterations int
+	// Parallelism is the worker-pool width for the µ/µ∆ round internals —
+	// step joins, join probes, and per-iteration absorption all shard row
+	// ranges across it (0 = GOMAXPROCS, 1 = sequential). Output order is
+	// chunk-deterministic: results are byte-identical at every setting.
+	Parallelism int
+	// Ctx, when non-nil, cancels the execution between fixpoint rounds and
+	// inside the sharded operators; the pool always drains before the
+	// context's error is returned.
+	Ctx context.Context
 
 	memo      map[*Node]*Table
 	binding   map[*Node]*Table // OpRecBase → current feed
 	muAgg     map[*Node]*MuRun
 	docs      map[string]*xdm.Document
 	stepCache map[stepCacheKey][]xdm.NodeRef
+	stepMu    sync.Mutex // guards stepCache when step joins shard
 	arena     itemArena
 }
+
+// workers is the normalized pool width.
+func (ctx *ExecContext) workers() int { return par.Workers(ctx.Parallelism) }
+
+// cancelled reports the context's error, if any.
+func (ctx *ExecContext) cancelled() error { return par.CtxErr(ctx.Ctx) }
+
+// parMinRows is the smallest per-chunk row count worth a goroutine in the
+// sharded row-wise operators; below workers × this, they run sequentially.
+const parMinRows = 512
 
 // itemArena hands out row slices carved from shared slabs: operators that
 // emit one short row per input row (steps, projections, numeric columns,
@@ -529,57 +552,83 @@ func (ctx *ExecContext) evalJoin(n *Node, semi, anti bool) (*Table, error) {
 		lThetaIdx[i] = l.Col(p.L)
 		rThetaIdx[i] = r.Col(p.R)
 	}
-	var rows [][]xdm.Item
-	var candidates []int32
-	for _, lrow := range l.Rows {
-		matched := false
-		candidates = candidates[:0]
-		switch len(eq) {
-		case 1:
-			if it := lrow[lEqIdx[0]]; it.IsNode() {
-				candidates = append(candidates, nidx1[nodeKey64(it.Node())]...)
-				break
-			}
-			for _, k := range probeIKeys(lrow[lEqIdx[0]]) {
-				candidates = append(candidates, idx1[k]...)
-			}
-		case 2:
-			ia, ib := lrow[lEqIdx[0]], lrow[lEqIdx[1]]
-			if ia.IsNode() && ib.IsNode() {
-				candidates = append(candidates, nidx2[[2]uint64{nodeKey64(ia.Node()), nodeKey64(ib.Node())}]...)
-				break
-			}
-			for _, ka := range probeIKeys(ia) {
-				for _, kb := range probeIKeys(ib) {
-					candidates = append(candidates, idx2[ikey2{ka, kb}]...)
-				}
-			}
-		default:
-			for i := range r.Rows {
-				candidates = append(candidates, int32(i))
-			}
-		}
-		for _, ri := range candidates {
-			rrow := r.Rows[int(ri)]
-			ok := true
-			for i, p := range theta {
-				if !predHolds(lrow[lThetaIdx[i]], rrow[rThetaIdx[i]], p.Cmp) {
-					ok = false
+	// probe matches one probe-side row range against the (now read-only)
+	// hash indexes. Sharded probing hands each chunk its own arena and
+	// candidates scratch; per-chunk outputs concatenate in chunk order, so
+	// the join's row order is identical at every worker count.
+	probe := func(lrows [][]xdm.Item, arena *itemArena) [][]xdm.Item {
+		var rows [][]xdm.Item
+		var candidates []int32
+		for _, lrow := range lrows {
+			matched := false
+			candidates = candidates[:0]
+			switch len(eq) {
+			case 1:
+				if it := lrow[lEqIdx[0]]; it.IsNode() {
+					candidates = append(candidates, nidx1[nodeKey64(it.Node())]...)
 					break
 				}
+				for _, k := range probeIKeys(lrow[lEqIdx[0]]) {
+					candidates = append(candidates, idx1[k]...)
+				}
+			case 2:
+				ia, ib := lrow[lEqIdx[0]], lrow[lEqIdx[1]]
+				if ia.IsNode() && ib.IsNode() {
+					candidates = append(candidates, nidx2[[2]uint64{nodeKey64(ia.Node()), nodeKey64(ib.Node())}]...)
+					break
+				}
+				for _, ka := range probeIKeys(ia) {
+					for _, kb := range probeIKeys(ib) {
+						candidates = append(candidates, idx2[ikey2{ka, kb}]...)
+					}
+				}
+			default:
+				for i := range r.Rows {
+					candidates = append(candidates, int32(i))
+				}
 			}
-			if !ok {
-				continue
+			for _, ri := range candidates {
+				rrow := r.Rows[int(ri)]
+				ok := true
+				for i, p := range theta {
+					if !predHolds(lrow[lThetaIdx[i]], rrow[rThetaIdx[i]], p.Cmp) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				matched = true
+				if semi {
+					break
+				}
+				rows = append(rows, arena.concatRows(lrow, rrow))
 			}
-			matched = true
-			if semi {
-				break
+			if semi && matched != anti {
+				rows = append(rows, lrow)
 			}
-			rows = append(rows, ctx.arena.concatRows(lrow, rrow))
 		}
-		if semi && matched != anti {
-			rows = append(rows, lrow)
+		return rows
+	}
+	var rows [][]xdm.Item
+	workers := ctx.workers()
+	if workers <= 1 || len(l.Rows) < 2*parMinRows {
+		if err := ctx.cancelled(); err != nil {
+			return nil, err
 		}
+		rows = probe(l.Rows, &ctx.arena)
+	} else {
+		chunks := par.Chunks(len(l.Rows), workers, parMinRows)
+		outs := make([][][]xdm.Item, len(chunks))
+		if err := par.Run(ctx.Ctx, workers, len(chunks), func(i int) error {
+			arena := &itemArena{}
+			outs[i] = probe(l.Rows[chunks[i][0]:chunks[i][1]], arena)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		rows = concatRowChunks(outs)
 	}
 	if semi {
 		return NewTable(l.Cols, rows), nil
@@ -788,36 +837,91 @@ func (ctx *ExecContext) evalRowNum(n *Node) (*Table, error) {
 
 // evalStep is the XPath step join: the relational face of the staircase
 // join, answering axis steps with range scans over the pre/size/level
-// encoding in the xdm store.
+// encoding in the xdm store. Large inputs shard row ranges across the
+// worker pool — axis scans from distinct context nodes are independent —
+// with per-worker arenas and chunk-ordered concatenation, so the output
+// row order never depends on the worker count.
 func (ctx *ExecContext) evalStep(n *Node) (*Table, error) {
 	in, err := ctx.kid(n, 0)
 	if err != nil {
 		return nil, err
 	}
 	c := in.Col(n.ItemCol)
-	var rows [][]xdm.Item
-	for _, row := range in.Rows {
+	workers := ctx.workers()
+	if workers <= 1 || len(in.Rows) < 2*parMinRows {
+		if err := ctx.cancelled(); err != nil {
+			return nil, err
+		}
+		return NewTable(in.Cols, ctx.stepRows(in.Rows, c, n, &ctx.arena, false)), nil
+	}
+	chunks := par.Chunks(len(in.Rows), workers, parMinRows)
+	outs := make([][][]xdm.Item, len(chunks))
+	if err := par.Run(ctx.Ctx, workers, len(chunks), func(i int) error {
+		arena := &itemArena{}
+		outs[i] = ctx.stepRows(in.Rows[chunks[i][0]:chunks[i][1]], c, n, arena, true)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return NewTable(in.Cols, concatRowChunks(outs)), nil
+}
+
+// stepRows answers the step for one row range. When the call is one shard
+// of a parallel step (shared), the axis-result cache is accessed under
+// stepMu; a raced miss computes the identical slice twice and
+// last-write-wins, which is safe because axis scans are pure functions of
+// immutable documents. Unsharded calls skip the lock — the plan walk is
+// single-threaded outside par.Run sections, so nothing else can touch the
+// cache concurrently.
+func (ctx *ExecContext) stepRows(rows [][]xdm.Item, c int, n *Node, arena *itemArena, shared bool) [][]xdm.Item {
+	var out [][]xdm.Item
+	for _, row := range rows {
 		if !row[c].IsNode() {
 			continue
 		}
 		src := row[c].Node()
 		key := stepCacheKey{doc: src.D, pre: src.Pre, axis: n.Axis, kind: n.Test.Kind, name: n.Test.Name}
+		if shared {
+			ctx.stepMu.Lock()
+		}
 		matches, ok := ctx.stepCache[key]
+		if shared {
+			ctx.stepMu.Unlock()
+		}
 		if !ok {
 			for _, m := range axisNodes(src, n.Axis) {
 				if matchTest(m, n.Test, n.Axis) {
 					matches = append(matches, m)
 				}
 			}
+			if shared {
+				ctx.stepMu.Lock()
+			}
 			ctx.stepCache[key] = matches
+			if shared {
+				ctx.stepMu.Unlock()
+			}
 		}
 		for _, m := range matches {
-			out := ctx.arena.copyRow(row)
-			out[c] = xdm.NewNode(m)
-			rows = append(rows, out)
+			o := arena.copyRow(row)
+			o[c] = xdm.NewNode(m)
+			out = append(out, o)
 		}
 	}
-	return NewTable(in.Cols, rows), nil
+	return out
+}
+
+// concatRowChunks flattens per-chunk outputs in chunk order.
+func concatRowChunks(outs [][][]xdm.Item) [][]xdm.Item {
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	rows := make([][]xdm.Item, 0, total)
+	for _, o := range outs {
+		rows = append(rows, o...)
+	}
+	return rows
 }
 
 func axisNodes(node xdm.NodeRef, axis ast.Axis) []xdm.NodeRef {

@@ -1,10 +1,12 @@
 package algebra
 
 import (
+	"context"
 	"sort"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/xdm"
 )
 
@@ -39,7 +41,11 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 		maxIter = core.DefaultMaxIterations
 	}
 	deps := recDependents(n.Kids[1])
+	workers := ctx.workers()
 	body := func(feed *iterSets) (*iterSets, error) {
+		if err := ctx.cancelled(); err != nil {
+			return nil, err
+		}
 		run.Stats.PayloadCalls++
 		run.Stats.NodesFedBack += int64(feed.size())
 		for dep := range deps {
@@ -57,9 +63,9 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		return newIterSets(out)
+		return newIterSetsN(out, workers, ctx.Ctx)
 	}
-	seed, err := newIterSets(seedT)
+	seed, err := newIterSetsN(seedT, workers, ctx.Ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +83,10 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			delta = res.absorb(out)
+			delta, err = res.absorbN(out, workers, ctx.Ctx)
+			if err != nil {
+				return nil, err
+			}
 		}
 	} else {
 		for round := 0; ; round++ {
@@ -88,7 +97,11 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			if res.absorb(out).size() == 0 {
+			d, err := res.absorbN(out, workers, ctx.Ctx)
+			if err != nil {
+				return nil, err
+			}
+			if d.size() == 0 {
 				break
 			}
 		}
@@ -158,7 +171,13 @@ func emptyIterSets() *iterSets {
 // newIterSets ingests an iter|…|item table, deduplicating per iter and
 // sorting into document order. Non-node items are a type error: the IFP is
 // defined over node()* (Definition 2.1).
-func newIterSets(t *Table) (*iterSets, error) {
+func newIterSets(t *Table) (*iterSets, error) { return newIterSetsN(t, 1, nil) }
+
+// newIterSetsN is newIterSets with the per-iteration document-order sorts
+// sharded across the worker pool. Ingest stays sequential (it builds the
+// shared iter map); each set's sort is independent, so sharding them
+// changes nothing observable.
+func newIterSetsN(t *Table, workers int, cctx context.Context) (*iterSets, error) {
 	s := emptyIterSets()
 	iterIdx := t.Col("iter")
 	itemIdx := t.Col("item")
@@ -168,7 +187,20 @@ func newIterSets(t *Table) (*iterSets, error) {
 		}
 		s.add(row[iterIdx], row[itemIdx].Node())
 	}
-	s.sortAll()
+	if workers <= 1 || len(s.sets) < 2 {
+		s.sortAll()
+		return s, nil
+	}
+	sets := make([]*iterSet, 0, len(s.sets))
+	for _, set := range s.sets {
+		sets = append(sets, set)
+	}
+	if err := par.Run(cctx, workers, len(sets), func(i int) error {
+		xdm.SortNodes(sets[i].nodes)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -206,27 +238,64 @@ func (s *iterSets) size() int { return s.n }
 // It replaces the minus-then-plus rebuild of the original implementation;
 // the returned delta is read-only (fed back through table, never mutated).
 func (s *iterSets) absorb(o *iterSets) *iterSets {
-	delta := emptyIterSets()
-	for _, iter := range o.iters {
+	delta, _ := s.absorbN(o, 1, nil)
+	return delta
+}
+
+// absorbN is absorb with the per-iteration work sharded across the worker
+// pool: within one round, distinct iterations' sets are disjoint — their
+// bitmap dedups and sorted-run merges never touch shared state — so they
+// shard freely. Set creation (phase 1) and the bookkeeping that fixes the
+// delta's iteration order (phase 3) stay sequential; only the O(nodes)
+// middle runs on workers. The delta is assembled in o's iteration order,
+// making the result byte-identical at every worker count. The only error
+// is the context's, with s possibly part-mutated — callers abort the whole
+// execution on cancellation, so the partial state is never observed.
+func (s *iterSets) absorbN(o *iterSets, workers int, cctx context.Context) (*iterSets, error) {
+	type target struct{ oset, set *iterSet }
+	targets := make([]target, len(o.iters))
+	for i, iter := range o.iters {
 		ik := itemIKey(iter)
-		oset := o.sets[ik]
-		set := s.set(ik, iter)
-		var fresh []xdm.NodeRef
-		for _, nd := range oset.nodes {
-			if set.seen.Add(nd) {
-				fresh = append(fresh, nd)
+		targets[i] = target{oset: o.sets[ik], set: s.set(ik, iter)}
+	}
+	fresh := make([][]xdm.NodeRef, len(targets))
+	absorbOne := func(i int) {
+		t := targets[i]
+		var f []xdm.NodeRef
+		for _, nd := range t.oset.nodes {
+			if t.set.seen.Add(nd) {
+				f = append(f, nd)
 			}
 		}
-		if len(fresh) == 0 {
+		if len(f) > 0 {
+			t.set.nodes = xdm.MergeSortedNodes(t.set.nodes, f)
+		}
+		fresh[i] = f
+	}
+	if workers > 1 && len(targets) > 1 {
+		if err := par.Run(cctx, workers, len(targets), func(i int) error {
+			absorbOne(i)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	} else {
+		for i := range targets {
+			absorbOne(i)
+		}
+	}
+	delta := emptyIterSets()
+	for i, iter := range o.iters {
+		f := fresh[i]
+		if len(f) == 0 {
 			continue
 		}
-		s.n += len(fresh)
-		set.nodes = xdm.MergeSortedNodes(set.nodes, fresh)
-		delta.sets[ik] = &iterSet{rep: iter, nodes: fresh}
+		s.n += len(f)
+		delta.sets[itemIKey(iter)] = &iterSet{rep: iter, nodes: f}
 		delta.iters = append(delta.iters, iter)
-		delta.n += len(fresh)
+		delta.n += len(f)
 	}
-	return delta
+	return delta, nil
 }
 
 // plus returns the union s ∪ o (per iteration) as a freshly built family.

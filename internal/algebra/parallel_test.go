@@ -1,0 +1,147 @@
+package algebra
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/xdm"
+	"repro/internal/xmldoc"
+	"repro/internal/xmlgen"
+	"repro/internal/xq/parser"
+)
+
+// closureQuery is the xlinkit consistency check over a curriculum sized so
+// the µ feed tables cross the row-sharding threshold: the loop-lifted
+// fixpoint carries every course's prerequisite closure at once, which puts
+// thousands of rows through the sharded step joins, join probes, and
+// per-iteration absorbs each round.
+const closureQuery = `
+for $c in doc("curriculum.xml")/curriculum/course
+where exists($c intersect (with $x seeded by $c recurse $x/id(./prerequisites/pre_code)))
+return $c/@code/string()`
+
+func curriculumDocs(t *testing.T, courses int) func(string) (*xdm.Document, error) {
+	t.Helper()
+	doc, err := xmldoc.ParseString(xmlgen.Curriculum(xmlgen.CurriculumSized(courses)), "curriculum.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(uri string) (*xdm.Document, error) { return doc, nil }
+}
+
+func evalClosure(t *testing.T, opts Options) (xdm.Sequence, []MuRun, error) {
+	t.Helper()
+	m, err := parser.Parse(closureQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := NewEngine(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return en.Eval()
+}
+
+// TestMuParallelMatchesSequential checks µ and µ∆ produce identical
+// sequences and identical instrumentation at every worker count.
+func TestMuParallelMatchesSequential(t *testing.T) {
+	docs := curriculumDocs(t, 260)
+	for _, mode := range []FixpointMode{ModeNaive, ModeDelta} {
+		want, wantRuns, err := evalClosure(t, Options{Mode: mode, Docs: docs, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("mode=%v sequential: %v", mode, err)
+		}
+		for _, p := range []int{2, 4} {
+			got, gotRuns, err := evalClosure(t, Options{Mode: mode, Docs: docs, Parallelism: p})
+			if err != nil {
+				t.Fatalf("mode=%v p=%d: %v", mode, p, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("mode=%v p=%d: result diverges from sequential run", mode, p)
+			}
+			if !reflect.DeepEqual(gotRuns, wantRuns) {
+				t.Fatalf("mode=%v p=%d: µ instrumentation diverges: %+v vs %+v", mode, p, gotRuns, wantRuns)
+			}
+		}
+	}
+}
+
+// TestMuCancellation cancels a fixpoint mid-execution: the engine must
+// return the context's error with the worker pool fully drained, and an
+// already-cancelled context must refuse to start rounds at all.
+func TestMuCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	docs := curriculumDocs(t, 260)
+
+	pre, cancelPre := context.WithCancel(context.Background())
+	cancelPre()
+	if _, _, err := evalClosure(t, Options{Docs: docs, Parallelism: 4, Context: pre}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled: got %v, want context.Canceled", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := evalClosure(t, Options{Docs: docs, Parallelism: 4, Context: ctx})
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		// A fast machine may finish the whole query before cancel lands;
+		// the only acceptable non-nil error is the context's.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-run cancel: got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled evaluation did not return")
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestMuParallelErrorDeterministic forces a mid-round type error (a
+// fixpoint body yielding non-nodes) and checks the same error surfaces at
+// every worker count with no goroutine left behind.
+func TestMuParallelErrorDeterministic(t *testing.T) {
+	before := runtime.NumGoroutine()
+	docs := curriculumDocs(t, 120)
+	m, err := parser.Parse(`with $x seeded by doc("curriculum.xml")/curriculum/course
+	                        recurse ($x/id(./prerequisites/pre_code), 42)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want string
+	for _, p := range []int{1, 4} {
+		en, err := NewEngine(m, Options{Docs: docs, Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, evalErr := en.Eval()
+		if evalErr == nil {
+			t.Fatalf("p=%d: expected a type error", p)
+		}
+		if p == 1 {
+			want = evalErr.Error()
+		} else if evalErr.Error() != want {
+			t.Fatalf("p=%d: error %q differs from sequential %q", p, evalErr.Error(), want)
+		}
+	}
+	waitForGoroutines(t, before)
+}
+
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -135,6 +135,9 @@ type Row struct {
 // Runner executes experiments.
 type Runner struct {
 	MaxIterations int
+	// Parallelism is the fixpoint worker-pool width passed to both
+	// engines (0 = GOMAXPROCS, 1 = sequential).
+	Parallelism int
 }
 
 // docResolverFor parses the experiment's document once and serves it for
@@ -214,7 +217,9 @@ func (r *Runner) runInterp(m *ast.Module, alg core.Algorithm, docs func(string) 
 	if alg == core.Delta {
 		mode = interp.ModeDelta
 	}
-	en := interp.New(m, interp.Options{Mode: mode, Docs: docs, MaxIterations: r.MaxIterations})
+	en := interp.New(m, interp.Options{
+		Mode: mode, Docs: docs, MaxIterations: r.MaxIterations, Parallelism: r.Parallelism,
+	})
 	start := time.Now()
 	res, err := en.Eval()
 	elapsed := time.Since(start)
@@ -239,7 +244,9 @@ func (r *Runner) runRelational(m *ast.Module, alg core.Algorithm, docs func(stri
 	if alg == core.Delta {
 		mode = algebra.ModeDelta
 	}
-	en, err := algebra.NewEngine(m, algebra.Options{Mode: mode, Docs: docs, MaxIterations: r.MaxIterations})
+	en, err := algebra.NewEngine(m, algebra.Options{
+		Mode: mode, Docs: docs, MaxIterations: r.MaxIterations, Parallelism: r.Parallelism,
+	})
 	if err != nil {
 		return Measurement{}, err
 	}

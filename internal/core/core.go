@@ -8,6 +8,9 @@
 package core
 
 import (
+	"context"
+
+	"repro/internal/par"
 	"repro/internal/xdm"
 )
 
@@ -70,13 +73,33 @@ func (s *Stats) Add(o Stats) {
 // bound turns into an IFPX0001 error instead of divergence.
 const DefaultMaxIterations = 1 << 20
 
+// Config tunes one fixpoint computation beyond the algorithm choice.
+type Config struct {
+	// MaxIterations bounds fixpoint rounds; <= 0 selects
+	// DefaultMaxIterations.
+	MaxIterations int
+	// Parallelism is the worker-pool width for the per-round delta
+	// accumulation (0 = GOMAXPROCS, 1 = sequential). Results and stats are
+	// byte-identical at every setting.
+	Parallelism int
+	// Context, when non-nil, cancels the computation between rounds and
+	// inside the sharded accumulation; the run returns the context's error
+	// with the worker pool fully drained.
+	Context context.Context
+}
+
 // Run computes the IFP of the payload seeded by seed using the requested
 // algorithm. maxIter <= 0 selects DefaultMaxIterations.
 func Run(alg Algorithm, seed xdm.Sequence, body Payload, maxIter int) (xdm.Sequence, Stats, error) {
+	return RunWith(alg, seed, body, Config{MaxIterations: maxIter})
+}
+
+// RunWith is Run with a full Config.
+func RunWith(alg Algorithm, seed xdm.Sequence, body Payload, cfg Config) (xdm.Sequence, Stats, error) {
 	if alg == Delta {
-		return RunDelta(seed, body, maxIter)
+		return runDelta(seed, body, cfg)
 	}
-	return RunNaive(seed, body, maxIter)
+	return runNaive(seed, body, cfg)
 }
 
 func checkNodes(s xdm.Sequence, role string) error {
@@ -97,6 +120,11 @@ func checkNodes(s xdm.Sequence, role string) error {
 // through xdm.Union would pay. (The *feed* is still the whole accumulated
 // set — that is what makes Naïve naïve.)
 func RunNaive(seed xdm.Sequence, body Payload, maxIter int) (xdm.Sequence, Stats, error) {
+	return runNaive(seed, body, Config{MaxIterations: maxIter})
+}
+
+func runNaive(seed xdm.Sequence, body Payload, cfg Config) (xdm.Sequence, Stats, error) {
+	maxIter := cfg.MaxIterations
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIterations
 	}
@@ -111,11 +139,14 @@ func RunNaive(seed xdm.Sequence, body Payload, maxIter int) (xdm.Sequence, Stats
 			return nil, st, xdm.Errorf(xdm.ErrIFP,
 				"inflationary fixed point did not converge within %d iterations", maxIter)
 		}
+		if err := par.CtxErr(cfg.Context); err != nil {
+			return nil, st, err
+		}
 		step, err := applyTo(body, feed, &st)
 		if err != nil {
 			return nil, st, err
 		}
-		fresh, err := acc.Absorb(step)
+		fresh, err := absorbSharded(&acc, step, cfg)
 		if err != nil {
 			return nil, st, err
 		}
@@ -138,6 +169,11 @@ func RunNaive(seed xdm.Sequence, body Payload, maxIter int) (xdm.Sequence, Stats
 // document order — `except res` and `∆ union res` collapse into one
 // incremental pass over the answer.
 func RunDelta(seed xdm.Sequence, body Payload, maxIter int) (xdm.Sequence, Stats, error) {
+	return runDelta(seed, body, Config{MaxIterations: maxIter})
+}
+
+func runDelta(seed xdm.Sequence, body Payload, cfg Config) (xdm.Sequence, Stats, error) {
+	maxIter := cfg.MaxIterations
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIterations
 	}
@@ -152,11 +188,14 @@ func RunDelta(seed xdm.Sequence, body Payload, maxIter int) (xdm.Sequence, Stats
 			return nil, st, xdm.Errorf(xdm.ErrIFP,
 				"inflationary fixed point did not converge within %d iterations", maxIter)
 		}
+		if err := par.CtxErr(cfg.Context); err != nil {
+			return nil, st, err
+		}
 		step, err := applyTo(body, xdm.NodeSeq(delta), &st)
 		if err != nil {
 			return nil, st, err
 		}
-		delta, err = acc.Absorb(step)
+		delta, err = absorbSharded(&acc, step, cfg)
 		if err != nil {
 			return nil, st, err
 		}
@@ -164,6 +203,55 @@ func RunDelta(seed xdm.Sequence, body Payload, maxIter int) (xdm.Sequence, Stats
 	st.Depth = st.PayloadCalls - 1
 	st.ResultSize = acc.Len()
 	return acc.Sequence(), st, nil
+}
+
+// absorbMinChunk is the smallest per-worker slice of a round's answer
+// worth a goroutine; below p × this, absorption stays sequential.
+const absorbMinChunk = 2048
+
+// absorbSharded is Accumulator.Absorb with the membership screen sharded
+// across the worker pool. Phase 1 runs read-only against the accumulated
+// set: each chunk of the round's answer drops the nodes already absorbed —
+// in converged regions that is most of the answer, and a bitmap read per
+// node is all it costs. Phase 2 absorbs the surviving candidates
+// sequentially in chunk order; duplicates *within* the round survive phase
+// 1 and are collapsed there, by exactly the seen.Add the sequential path
+// would have spent on them. Because phase 1 only ever removes items the
+// sequential path would also have rejected, the returned delta — and every
+// later round — is byte-identical to Absorb's at any worker count.
+func absorbSharded(acc *xdm.Accumulator, step xdm.Sequence, cfg Config) ([]xdm.NodeRef, error) {
+	workers := par.Workers(cfg.Parallelism)
+	if workers <= 1 || len(step) < 2*absorbMinChunk {
+		if err := par.CtxErr(cfg.Context); err != nil {
+			return nil, err
+		}
+		return acc.Absorb(step)
+	}
+	chunks := par.Chunks(len(step), workers, absorbMinChunk)
+	cand := make([][]xdm.NodeRef, len(chunks))
+	err := par.Run(cfg.Context, workers, len(chunks), func(i int) error {
+		for _, it := range step[chunks[i][0]:chunks[i][1]] {
+			if !it.IsNode() {
+				return xdm.NewError(xdm.ErrType, "expected node()*, found "+it.Kind().String())
+			}
+			if n := it.Node(); !acc.Has(n) {
+				cand[i] = append(cand[i], n)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, c := range cand {
+		total += len(c)
+	}
+	flat := make([]xdm.NodeRef, 0, total)
+	for _, c := range cand {
+		flat = append(flat, c...)
+	}
+	return acc.AbsorbNodes(flat), nil
 }
 
 // seedAccumulator runs the seeding payload application shared by both

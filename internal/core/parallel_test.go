@@ -1,0 +1,129 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/xdm"
+)
+
+// bigGraph builds a graph large enough that one round's answer crosses the
+// sharding threshold, so RunWith(p > 1) actually exercises the parallel
+// absorb (absorbMinChunk nodes per worker).
+func bigGraph(n, fanout int) ([]xdm.NodeRef, Payload) {
+	doc, verts := graphDoc(n)
+	_ = doc
+	adj := make([][]int, n)
+	for i := range adj {
+		for f := 1; f <= fanout; f++ {
+			adj[i] = append(adj[i], (i+f)%n)
+			// Duplicate edges: the payload's answer then contains repeats,
+			// which the sharded dedup must collapse exactly as the
+			// sequential path does.
+			adj[i] = append(adj[i], (i+f)%n)
+		}
+	}
+	return verts, successorPayload(verts, adj)
+}
+
+// TestRunWithParallelMatchesSequential drives both algorithms over the
+// same graph at several worker counts: sequences and stats must be
+// identical to the sequential run, bit for bit.
+func TestRunWithParallelMatchesSequential(t *testing.T) {
+	verts, payload := bigGraph(6000, 4)
+	rng := rand.New(rand.NewSource(5))
+	var seed xdm.Sequence
+	for i := 0; i < 128; i++ {
+		seed = append(seed, xdm.NewNode(verts[rng.Intn(len(verts))]))
+	}
+	seed, err := xdm.DDO(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Naive, Delta} {
+		want, wantSt, err := RunWith(alg, seed, payload, Config{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%v sequential: %v", alg, err)
+		}
+		for _, p := range []int{2, 4, 8} {
+			got, gotSt, err := RunWith(alg, seed, payload, Config{Parallelism: p})
+			if err != nil {
+				t.Fatalf("%v p=%d: %v", alg, p, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v p=%d: sequence diverges from sequential run", alg, p)
+			}
+			if gotSt != wantSt {
+				t.Fatalf("%v p=%d: stats diverge: %+v vs %+v", alg, p, gotSt, wantSt)
+			}
+		}
+	}
+}
+
+// TestRunWithCancellation cancels mid-computation: the run must return the
+// context's error and leave no pool goroutine behind.
+func TestRunWithCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	verts, payload := bigGraph(6000, 4)
+	seed := xdm.Sequence{xdm.NewNode(verts[0])}
+	for _, alg := range []Algorithm{Naive, Delta} {
+		ctx, cancel := context.WithCancel(context.Background())
+		calls := 0
+		counting := func(xs xdm.Sequence) (xdm.Sequence, error) {
+			calls++
+			if calls == 3 {
+				cancel()
+			}
+			return payload(xs)
+		}
+		_, _, err := RunWith(alg, seed, counting, Config{Parallelism: 4, Context: ctx})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: got %v, want context.Canceled", alg, err)
+		}
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestRunWithPayloadErrorParallel checks a mid-round payload error
+// surfaces identically at every worker count, with the pool drained.
+func TestRunWithPayloadErrorParallel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	verts, payload := bigGraph(6000, 4)
+	seed := xdm.Sequence{xdm.NewNode(verts[0])}
+	boom := errors.New("payload failed at round 4")
+	mk := func() Payload {
+		calls := 0
+		return func(xs xdm.Sequence) (xdm.Sequence, error) {
+			calls++
+			if calls == 4 {
+				return nil, boom
+			}
+			return payload(xs)
+		}
+	}
+	for _, p := range []int{1, 4} {
+		_, _, err := RunWith(Naive, seed, mk(), Config{Parallelism: p})
+		if !errors.Is(err, boom) {
+			t.Fatalf("p=%d: got %v, want %v", p, err, boom)
+		}
+	}
+	waitForGoroutines(t, before)
+}
+
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,19 @@
+package difftest
+
+import "testing"
+
+// FuzzDifferential lets `go test -fuzz` explore the seed space beyond the
+// deterministic block: every interesting input the fuzzer finds is a seed
+// whose generated (document, query) pair made some engine disagree with
+// the others — a minimal reproducer by construction, since Generate is a
+// pure function of the seed.
+//
+//	go test -fuzz FuzzDifferential -fuzztime 30s ./internal/difftest
+func FuzzDifferential(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1e9, -3} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		Check(t, Generate(seed))
+	})
+}

@@ -1,0 +1,142 @@
+// Package par is the deterministic worker pool behind the parallel
+// fixpoint paths (internal/algebra's µ/µ∆ round internals and
+// internal/core's sharded accumulation). Within one fixpoint round the
+// per-iteration sets — and, row-wise, the step-join and join-probe inputs —
+// are independent, so they shard freely; what must NOT vary with the worker
+// count is everything observable: output order (callers index results by
+// chunk and concatenate in chunk order), which error surfaces (the
+// lowest-numbered failing index wins, not the temporally first), and
+// goroutine hygiene (no call outlives Run, even on error or cancellation).
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a parallelism setting: 0 (unset) becomes
+// runtime.GOMAXPROCS(0); anything below 1 becomes 1 (sequential).
+func Workers(p int) int {
+	if p == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// Run executes fn(i) for every i in [0, n) across at most p goroutines
+// (one of them the caller's) and returns the error of the lowest-numbered
+// failing index, or the context's error when it is cancelled before all
+// indices complete. After the first failure or cancellation no new index
+// is dispatched, but every in-flight fn call is awaited — the pool always
+// drains; no goroutine survives Run. A nil ctx means no cancellation.
+//
+// fn must be safe to call concurrently from distinct goroutines with
+// distinct indices; Run never calls fn twice with the same index.
+func Run(ctx context.Context, p, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return CtxErr(ctx)
+	}
+	p = Workers(p)
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		for i := 0; i < n; i++ {
+			if err := CtxErr(ctx); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	errs := make([]error, n)
+	work := func() {
+		for !stop.Load() {
+			if CtxErr(ctx) != nil {
+				stop.Store(true)
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := fn(i); err != nil {
+				errs[i] = err
+				stop.Store(true)
+				return
+			}
+		}
+	}
+	wg.Add(p - 1)
+	for w := 1; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if int(next.Load()) >= n {
+		return nil // every index ran and succeeded
+	}
+	return CtxErr(ctx)
+}
+
+// CtxErr is ctx.Err() under this package's "nil context means no
+// cancellation" convention — the one nil-guard every parallel caller
+// shares.
+func CtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// Chunks partitions n items into at most p contiguous chunks of at least
+// minPer items each (the last chunk takes the remainder) and returns the
+// half-open [lo, hi) bounds. The split depends only on (n, p, minPer) —
+// never on timing — so chunk-ordered concatenation of per-chunk outputs is
+// byte-identical at every worker count, including p = 1.
+func Chunks(n, p, minPer int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	p = Workers(p)
+	if minPer < 1 {
+		minPer = 1
+	}
+	chunks := p
+	if maxChunks := n / minPer; chunks > maxChunks {
+		chunks = maxChunks
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	out := make([][2]int, 0, chunks)
+	lo := 0
+	for c := 0; c < chunks; c++ {
+		hi := lo + (n-lo)/(chunks-c)
+		if hi > lo {
+			out = append(out, [2]int{lo, hi})
+		}
+		lo = hi
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != 1 {
+		t.Errorf("Workers(-5) = %d, want 1", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d, want 7", got)
+	}
+}
+
+// TestChunksPartition checks every (n, p, minPer) yields a gap-free,
+// ordered partition of [0, n) honouring the per-chunk minimum (except the
+// unavoidable single-chunk case), and that the split is a pure function of
+// its inputs.
+func TestChunksPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		n, p, minPer := rng.Intn(5000), 1+rng.Intn(16), 1+rng.Intn(700)
+		a := Chunks(n, p, minPer)
+		b := Chunks(n, p, minPer)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("Chunks(%d,%d,%d) not deterministic", n, p, minPer)
+		}
+		if n == 0 {
+			if a != nil {
+				t.Fatalf("Chunks(0,%d,%d) = %v, want nil", p, minPer, a)
+			}
+			continue
+		}
+		if len(a) > p {
+			t.Fatalf("Chunks(%d,%d,%d): %d chunks exceed p", n, p, minPer, len(a))
+		}
+		pos := 0
+		for i, c := range a {
+			if c[0] != pos || c[1] <= c[0] {
+				t.Fatalf("Chunks(%d,%d,%d): bad bounds %v", n, p, minPer, a)
+			}
+			if len(a) > 1 && c[1]-c[0] < minPer && i < len(a)-1 {
+				t.Fatalf("Chunks(%d,%d,%d): chunk %d below minimum: %v", n, p, minPer, i, a)
+			}
+			pos = c[1]
+		}
+		if pos != n {
+			t.Fatalf("Chunks(%d,%d,%d): covers [0,%d), want [0,%d)", n, p, minPer, pos, n)
+		}
+	}
+}
+
+func TestRunExecutesEveryIndexOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 8, 100} {
+		const n = 337
+		counts := make([]atomic.Int32, n)
+		if err := Run(context.Background(), p, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("p=%d: index %d ran %d times", p, i, c)
+			}
+		}
+	}
+}
+
+// TestRunFirstErrorDeterministic races three failing indices many times:
+// the lowest-numbered failure must win every run, regardless of which
+// goroutine reached its index first.
+func TestRunFirstErrorDeterministic(t *testing.T) {
+	fail := map[int]error{
+		3:  errors.New("error at 3"),
+		17: errors.New("error at 17"),
+		41: errors.New("error at 41"),
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		jitter := rng.Intn(50)
+		err := Run(context.Background(), 8, 64, func(i int) error {
+			if (i*7+jitter)%5 == 0 {
+				runtime.Gosched()
+			}
+			return fail[i]
+		})
+		if err == nil || err.Error() != "error at 3" {
+			t.Fatalf("trial %d: got %v, want error at 3", trial, err)
+		}
+	}
+}
+
+// TestRunCancellationDrains cancels mid-run and checks both guarantees:
+// the context's error surfaces, and no fn call is still executing once Run
+// returns (the pool drains; nothing leaks).
+func TestRunCancellationDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 50; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var active, peak atomic.Int32
+		err := Run(ctx, 8, 1000, func(i int) error {
+			cur := active.Add(1)
+			defer active.Add(-1)
+			if cur > peak.Load() {
+				peak.Store(cur)
+			}
+			if i == 20 {
+				cancel()
+			}
+			time.Sleep(10 * time.Microsecond)
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("trial %d: got %v, want context.Canceled", trial, err)
+		}
+		if a := active.Load(); a != 0 {
+			t.Fatalf("trial %d: %d fn calls still active after Run returned", trial, a)
+		}
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestRunErrorDrains is the same drain guarantee for the error path.
+func TestRunErrorDrains(t *testing.T) {
+	before := runtime.NumGoroutine()
+	boom := errors.New("boom")
+	for trial := 0; trial < 50; trial++ {
+		var active atomic.Int32
+		err := Run(context.Background(), 8, 500, func(i int) error {
+			active.Add(1)
+			defer active.Add(-1)
+			if i == 13 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("trial %d: got %v, want boom", trial, err)
+		}
+		if a := active.Load(); a != 0 {
+			t.Fatalf("trial %d: %d fn calls still active after Run returned", trial, a)
+		}
+	}
+	waitForGoroutines(t, before)
+}
+
+func TestRunNilContextAndEmpty(t *testing.T) {
+	if err := Run(nil, 4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("empty run: %v", err)
+	}
+	ran := 0
+	if err := Run(nil, 4, 3, func(i int) error { ran++; return nil }); err != nil || ran != 3 {
+		t.Fatalf("nil ctx: err=%v ran=%d", err, ran)
+	}
+}
+
+// waitForGoroutines asserts the goroutine count returns to (near) its
+// pre-test level: pool workers must not outlive Run.
+func waitForGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -605,7 +605,11 @@ func (ev *evaluator) evalFixpoint(n *ast.Fixpoint, en *env, ctx dynCtx) (xdm.Seq
 	payload := func(xs xdm.Sequence) (xdm.Sequence, error) {
 		return ev.eval(n.Body, en.bind(n.Var, xs), ctx)
 	}
-	val, stats, err := core.Run(run.Algorithm, seed, payload, ev.engine.opts.MaxIterations)
+	val, stats, err := core.RunWith(run.Algorithm, seed, payload, core.Config{
+		MaxIterations: ev.engine.opts.MaxIterations,
+		Parallelism:   ev.engine.opts.Parallelism,
+		Context:       ev.engine.opts.Context,
+	})
 	if err != nil {
 		return nil, err
 	}
