@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-store bench-parallel fuzz vet ci clean
+.PHONY: all build test bench bench-json bench-store bench-parallel bench-check bench-baseline cover fmt-check fuzz vet ci clean
 
 all: build test
 
@@ -15,14 +15,34 @@ test:
 vet:
 	$(GO) vet ./...
 
+# fmt-check fails (listing the files) when anything is not gofmt-clean;
+# CI runs it in the lint job.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Coverage floor for internal/algebra — the package the columnar executor
+# lives in. The profile lands in cover.out (uploaded as a CI artifact);
+# the floor sits a few points under the current ~80% so honest refactors
+# pass but untested rewrites fail.
+COVER_FLOOR ?= 75
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/algebra
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { gsub("%", "", $$3); print $$3 }'); \
+	echo "internal/algebra coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f + 0) ? 1 : 0 }' || \
+		{ echo "coverage below floor"; exit 1; }
+
 # What CI runs (see .github/workflows/ci.yml). The -race pass covers the
 # concurrent store/xqd tests and the parallel fixpoint pools; the plain
-# pass runs the differential-harness seed block (internal/difftest).
+# pass runs the differential-harness seed block (internal/difftest); the
+# coverage step enforces the internal/algebra floor.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz FUZZTIME=10s
+	$(MAKE) cover
 
 # Differential fuzzing: random documents + random fixpoint queries, every
 # engine/mode/worker-count combination must agree byte for byte. CI runs a
@@ -36,10 +56,36 @@ bench:
 	$(GO) test -run '^$$' -bench 'IFPCore|BidderNetworkSmall' -benchmem
 
 # next-bench prints the first unused BENCH_<n>.json name, so snapshots
-# accrue as a trajectory instead of overwriting each other.
+# accrue as a trajectory instead of overwriting each other. Only the
+# numbered trajectory files count: BENCH_baseline.json (the committed CI
+# gate baseline) and BENCH_pr.json (the transient bench-check snapshot,
+# removed by `make clean`) never shift the numbering.
 define next-bench
 $$(n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; echo BENCH_$$n.json)
 endef
+
+# BENCH_CHECK_EXPS is the short bench-gate workload: one experiment keeps
+# a PR's bench job in minutes while still covering both relational
+# fixpoint algorithms. Regenerate the committed baseline (bench-baseline)
+# whenever a PR moves these numbers on purpose.
+BENCH_CHECK_EXPS ?= T2.1
+
+# bench-check is the CI regression gate: measure the short workload into
+# BENCH_pr.json and compare against the committed BENCH_baseline.json.
+# allocs/op is deterministic and machine-independent, so it carries the
+# tight 25% gate; ns/op is measured on whatever runner CI hands out while
+# the baseline came from another machine entirely, so it only catches
+# catastrophic (>2×) slowdowns — anything tighter would flake on runner
+# variance rather than code.
+bench-check:
+	$(GO) run ./cmd/ifpbench -exp $(BENCH_CHECK_EXPS) -json BENCH_pr.json
+	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json \
+		-cells '/rel/' -ns-tolerance 1.0 -allocs-tolerance 0.25
+
+# bench-baseline refreshes the committed gate baseline from the same
+# workload bench-check measures.
+bench-baseline:
+	$(GO) run ./cmd/ifpbench -exp $(BENCH_CHECK_EXPS) -json BENCH_baseline.json
 
 # Machine-readable snapshot of the full-size experiments.
 bench-json:
@@ -56,4 +102,6 @@ bench-parallel:
 	@out=$(next-bench); echo "writing $$out"; $(GO) run ./cmd/ifpbench -parallel 1,2,4,8 -json $$out
 
 clean:
-	rm -f ifpbench xq xqd distcheck xmlgen *.test BENCH_snapshot*.json
+	rm -f ifpbench xq xqd distcheck xmlgen benchdiff *.test BENCH_snapshot*.json
+	rm -f cover.out BENCH_pr.json
+	rm -rf internal/difftest/testdata/fuzz

@@ -1,0 +1,70 @@
+// Command benchdiff gates benchmark regressions: it compares a current
+// ifpbench -json snapshot against a committed baseline and exits non-zero
+// when any gated cell's ns/op or allocs/op exceeds its tolerance.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json
+//	benchdiff ... -cells '/rel/'        # gate only the relational cells
+//	benchdiff ... -ns-tolerance 0.25 -allocs-tolerance 0.10
+//
+// allocs/op is deterministic across machines and is the reliable signal;
+// ns/op varies with hardware, so its tolerance should stay generous when
+// the baseline and the current snapshot come from different machines (the
+// CI baseline is refreshed whenever a PR moves the numbers on purpose —
+// regenerate with `make bench-baseline`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		basePath  = flag.String("baseline", "BENCH_baseline.json", "committed baseline snapshot")
+		curPath   = flag.String("current", "", "snapshot to check (from ifpbench -json)")
+		cells     = flag.String("cells", `/rel/`, "regexp selecting the gated cells (empty = all)")
+		nsTol     = flag.Float64("ns-tolerance", 0.25, "relative ns/op tolerance (0.25 = +25%)")
+		allocsTol = flag.Float64("allocs-tolerance", 0.25, "relative allocs/op tolerance")
+	)
+	flag.Parse()
+	if *curPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	baseline, err := bench.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: baseline: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := bench.ReadFile(*curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: current: %v\n", err)
+		os.Exit(2)
+	}
+	opts := bench.DiffOptions{NsTolerance: *nsTol, AllocsTolerance: *allocsTol}
+	if *cells != "" {
+		re, err := regexp.Compile(*cells)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: -cells: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Cells = re
+	}
+	diffs := bench.Diff(baseline, current, opts)
+	if len(diffs) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no overlapping cells to compare")
+		os.Exit(2)
+	}
+	if bench.WriteDiff(os.Stdout, diffs) {
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond tolerance (ns +%.0f%%, allocs +%.0f%%)\n",
+			*nsTol*100, *allocsTol*100)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %d cells within tolerance\n", len(diffs))
+}

@@ -7,6 +7,7 @@
 //
 //	ifpbench                 # all Table 2 rows
 //	ifpbench -exp T2.5       # one row
+//	ifpbench -exp T2.1,T2.6  # a subset (the CI bench gate runs one)
 //	ifpbench -list           # list experiments
 //	ifpbench -markdown       # EXPERIMENTS.md-style output
 //	ifpbench -json BENCH.json  # machine-readable snapshot (ns/op,
@@ -24,7 +25,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -66,12 +66,15 @@ func main() {
 		return
 	}
 	if *expID != "" {
-		e, ok := bench.ExperimentByID(*expID)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "ifpbench: unknown experiment %q\n", *expID)
-			os.Exit(2)
+		exps = nil
+		for _, id := range strings.Split(*expID, ",") {
+			e, ok := bench.ExperimentByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ifpbench: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
 		}
-		exps = []bench.Experiment{e}
 	}
 
 	if *sweep != "" {
@@ -119,25 +122,13 @@ func main() {
 	bench.WriteTable(os.Stdout, rows)
 }
 
-// BenchEntry is one measured benchmark cell in the snapshot file — the
-// schema shared with the checked-in BENCH_<n>.json trajectory files.
-type BenchEntry struct {
-	Name     string  `json:"name"`
-	Phase    string  `json:"phase"` // "snapshot" here; "baseline"/"optimized" in trajectory files
-	NsOp     float64 `json:"ns_op"`
-	BytesOp  int64   `json:"bytes_op"`
-	AllocsOp int64   `json:"allocs_op"`
-	NodesFed int64   `json:"nodes_fed"`
-	Depth    int     `json:"depth"`
-}
-
-// BenchFile is the snapshot/trajectory file layout.
-type BenchFile struct {
-	Schema    string       `json:"schema"`
-	Generated string       `json:"generated"`
-	Go        string       `json:"go"`
-	Entries   []BenchEntry `json:"entries"`
-}
+// BenchEntry/BenchFile are the snapshot schema, shared (via internal/bench)
+// with the checked-in BENCH_<n>.json trajectory files and the benchdiff
+// regression gate.
+type (
+	BenchEntry = bench.Entry
+	BenchFile  = bench.File
+)
 
 // writeJSON measures every (experiment, engine, algorithm) cell — each
 // cell its own testing.Benchmark run, with document generation/parsing
@@ -249,21 +240,9 @@ func measureExperiment(e bench.Experiment, counts []int, tagP bool) ([]BenchEntr
 	return entries, nil
 }
 
-func newBenchFile() BenchFile {
-	return BenchFile{
-		Schema:    "ifpxq-bench/v1",
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Go:        runtime.Version(),
-	}
-}
+func newBenchFile() BenchFile { return bench.NewFile() }
 
-func writeBenchFile(path string, out BenchFile) error {
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
+func writeBenchFile(path string, out BenchFile) error { return bench.WriteFile(path, out) }
 
 func parseCounts(s string) ([]int, error) {
 	var counts []int

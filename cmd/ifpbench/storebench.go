@@ -5,9 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"testing"
-	"time"
 
 	ifpxq "repro"
 	"repro/internal/store"
@@ -63,11 +61,7 @@ func runStoreBench(jsonPath string) error {
 	}
 	defer os.RemoveAll(dir)
 
-	out := BenchFile{
-		Schema:    "ifpxq-bench/v1",
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Go:        runtime.Version(),
-	}
+	out := newBenchFile()
 	table := [][3]string{{"cell", "ns/op", "vs parse"}}
 
 	for _, w := range storeWorkloads() {

@@ -507,20 +507,18 @@ func (c *compiler) compileAttrCtor(n *ast.AttrCtor, loop *Node, env cenv) (*Node
 // ResultSequence extracts the XDM sequence of the top-level iteration from
 // a result table (iter is constant 1 at the top loop).
 func ResultSequence(t *Table) xdm.Sequence {
-	posIdx := t.Col("pos")
-	itemIdx := t.Col("item")
-	rows := make([][]xdm.Item, len(t.Rows))
-	copy(rows, t.Rows)
-	sortRowsBy(rows, posIdx)
-	out := make(xdm.Sequence, 0, len(rows))
-	for _, row := range rows {
-		out = append(out, row[itemIdx])
+	posVals := materialize(t.ColAt(t.Col("pos")))
+	itemVals := materialize(t.ColAt(t.Col("item")))
+	order := make([]int, t.Len())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return compareItems(posVals[order[a]], posVals[order[b]]) < 0
+	})
+	out := make(xdm.Sequence, 0, len(order))
+	for _, i := range order {
+		out = append(out, itemVals[i])
 	}
 	return out
-}
-
-func sortRowsBy(rows [][]xdm.Item, col int) {
-	sort.SliceStable(rows, func(a, b int) bool {
-		return compareItems(rows[a][col], rows[b][col]) < 0
-	})
 }

@@ -14,18 +14,76 @@ import (
 	"repro/internal/xq/ast"
 )
 
-// Table is a materialized relation. Rows are positionally aligned with
-// Cols; the executor treats tables as immutable once produced.
+// Table is a materialized relation in columnar layout: one Column vector
+// per attribute, positionally aligned with Cols. The executor treats
+// tables as immutable once produced, which lets operators alias column
+// vectors instead of copying them — projection and rename are pointer
+// copies, and a gather of a packed node column is a flat uint64 copy.
 type Table struct {
 	Cols []string
-	Rows [][]xdm.Item
 
-	idx map[string]int
+	cols []*Column
+	n    int
+	idx  map[string]int
 }
 
-// NewTable builds a table.
+// NewTable builds a table from row-major data (literal plans, tests).
+// Columns holding only nodes pack to (doc-stamp, pre) identity vectors.
 func NewTable(cols []string, rows [][]xdm.Item) *Table {
-	return &Table{Cols: cols, Rows: rows}
+	t := &Table{Cols: cols, cols: make([]*Column, len(cols)), n: len(rows)}
+	for c := range cols {
+		b := newColBuilder(len(rows))
+		for _, row := range rows {
+			b.append(row[c])
+		}
+		t.cols[c] = b.finish()
+	}
+	return t
+}
+
+// NewColTable builds a table directly from column vectors; all columns
+// must have equal length (mismatches are executor bugs).
+func NewColTable(names []string, cols []*Column) *Table {
+	t := &Table{Cols: names, cols: cols}
+	if len(cols) > 0 {
+		t.n = cols[0].Len()
+		for i, c := range cols {
+			if c.Len() != t.n {
+				panic(fmt.Sprintf("algebra: column %q length %d != %d", names[i], c.Len(), t.n))
+			}
+		}
+	}
+	return t
+}
+
+// Len returns the row count.
+func (t *Table) Len() int { return t.n }
+
+// ColAt returns column vector i.
+func (t *Table) ColAt(i int) *Column { return t.cols[i] }
+
+// At materializes the value at row r, column c.
+func (t *Table) At(r, c int) xdm.Item { return t.cols[c].Item(r) }
+
+// Row materializes row i. It exists for the few genuinely row-oriented
+// consumers (constructor assembly, result serialization, tests); bulk
+// operators read column vectors instead.
+func (t *Table) Row(i int) []xdm.Item {
+	row := make([]xdm.Item, len(t.cols))
+	for c, col := range t.cols {
+		row[c] = col.Item(i)
+	}
+	return row
+}
+
+// gather builds the table of t's rows at the given indices (every column
+// gathered; packed columns stay packed).
+func (t *Table) gather(idx []int32) *Table {
+	cols := make([]*Column, len(t.cols))
+	for i, c := range t.cols {
+		cols[i] = c.gather(idx)
+	}
+	return &Table{Cols: t.Cols, cols: cols, n: len(idx)}
 }
 
 // Col returns the index of a column, panicking on unknown names (schema
@@ -73,7 +131,6 @@ type ExecContext struct {
 	docs      map[string]*xdm.Document
 	stepCache map[stepCacheKey][]xdm.NodeRef
 	stepMu    sync.Mutex // guards stepCache when step joins shard
-	arena     itemArena
 }
 
 // workers is the normalized pool width.
@@ -85,45 +142,6 @@ func (ctx *ExecContext) cancelled() error { return par.CtxErr(ctx.Ctx) }
 // parMinRows is the smallest per-chunk row count worth a goroutine in the
 // sharded row-wise operators; below workers × this, they run sequentially.
 const parMinRows = 512
-
-// itemArena hands out row slices carved from shared slabs: operators that
-// emit one short row per input row (steps, projections, numeric columns,
-// the µ feed tables) pay one slab allocation per few thousand rows instead
-// of one per row. Slabs are never reclaimed individually — rows alias
-// them — so the arena's lifetime is the execution context's.
-type itemArena struct {
-	slab []xdm.Item
-}
-
-const arenaSlab = 4096
-
-// row returns a zeroed row of width n backed by the current slab.
-func (a *itemArena) row(n int) []xdm.Item {
-	if len(a.slab)+n > cap(a.slab) {
-		if n > arenaSlab {
-			return make([]xdm.Item, n)
-		}
-		a.slab = make([]xdm.Item, 0, arenaSlab)
-	}
-	start := len(a.slab)
-	a.slab = a.slab[:start+n]
-	return a.slab[start : start+n : start+n]
-}
-
-// copyRow clones a row into the arena with extra capacity headroom 0.
-func (a *itemArena) copyRow(src []xdm.Item) []xdm.Item {
-	out := a.row(len(src))
-	copy(out, src)
-	return out
-}
-
-// extendRow clones a row into the arena with one extra trailing slot.
-func (a *itemArena) extendRow(src []xdm.Item, v xdm.Item) []xdm.Item {
-	out := a.row(len(src) + 1)
-	copy(out, src)
-	out[len(src)] = v
-	return out
-}
 
 // stepCacheKey caches axis-step results per (node, axis, test): documents
 // are immutable, so repeated step joins from the same node (every fixpoint
@@ -178,6 +196,14 @@ func (ctx *ExecContext) eval(n *Node) (*Table, error) {
 
 func (ctx *ExecContext) kid(n *Node, i int) (*Table, error) { return ctx.eval(n.Kids[i]) }
 
+// aliasCols copies the column-pointer slice so an operator can swap or
+// extend columns without touching the (shared, immutable) input table.
+func aliasCols(t *Table) []*Column {
+	out := make([]*Column, len(t.cols))
+	copy(out, t.cols)
+	return out
+}
+
 func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
 	switch n.Op {
 	case OpLit:
@@ -195,7 +221,7 @@ func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
 			}
 			ctx.docs[n.URI] = d
 		}
-		return NewTable([]string{"item"}, [][]xdm.Item{{xdm.NewNode(d.Root())}}), nil
+		return NewColTable([]string{"item"}, []*Column{packedNodeColumn([]xdm.NodeRef{d.Root()})}), nil
 	case OpRecBase:
 		t, ok := ctx.binding[n]
 		if !ok {
@@ -207,44 +233,35 @@ func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		srcIdx := make([]int, len(n.Proj))
-		cols := make([]string, len(n.Proj))
+		// π is column aliasing: rename and reorder are pointer copies.
+		cols := make([]*Column, len(n.Proj))
+		names := make([]string, len(n.Proj))
 		for i, p := range n.Proj {
-			srcIdx[i] = in.Col(p.In)
-			cols[i] = p.Out
+			cols[i] = in.cols[in.Col(p.In)]
+			names[i] = p.Out
 		}
-		rows := make([][]xdm.Item, len(in.Rows))
-		for r, row := range in.Rows {
-			out := ctx.arena.row(len(srcIdx))
-			for i, s := range srcIdx {
-				out[i] = row[s]
-			}
-			rows[r] = out
-		}
-		return NewTable(cols, rows), nil
+		return &Table{Cols: names, cols: cols, n: in.n}, nil
 	case OpAttach:
 		in, err := ctx.kid(n, 0)
 		if err != nil {
 			return nil, err
 		}
-		rows := make([][]xdm.Item, len(in.Rows))
-		for r, row := range in.Rows {
-			rows[r] = ctx.arena.extendRow(row, n.Val)
-		}
-		return NewTable(n.Schema(), rows), nil
+		return NewColTable(n.Schema(), append(aliasCols(in), repeatColumn(n.Val, in.n))), nil
 	case OpSelect:
 		in, err := ctx.kid(n, 0)
 		if err != nil {
 			return nil, err
 		}
-		c := in.Col(n.Col)
-		var rows [][]xdm.Item
-		for _, row := range in.Rows {
-			if row[c].Kind() == xdm.KBoolean && row[c].Bool() {
-				rows = append(rows, row)
+		cond := in.cols[in.Col(n.Col)]
+		var sel []int32
+		if !cond.IsPacked() { // a packed column holds nodes, never booleans
+			for i, it := range cond.items {
+				if it.Kind() == xdm.KBoolean && it.Bool() {
+					sel = append(sel, int32(i))
+				}
 			}
 		}
-		return NewTable(in.Cols, rows), nil
+		return in.gather(sel), nil
 	case OpJoin:
 		return ctx.evalJoin(n, false, false)
 	case OpSemiJoin:
@@ -260,30 +277,21 @@ func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		var rows [][]xdm.Item
-		for _, lr := range l.Rows {
-			for _, rr := range r.Rows {
-				rows = append(rows, ctx.arena.concatRows(lr, rr))
+		li := make([]int32, 0, l.n*r.n)
+		ri := make([]int32, 0, l.n*r.n)
+		for i := 0; i < l.n; i++ {
+			for j := 0; j < r.n; j++ {
+				li = append(li, int32(i))
+				ri = append(ri, int32(j))
 			}
 		}
-		return NewTable(n.Schema(), rows), nil
+		return joinGather(n.Schema(), l, li, r, ri), nil
 	case OpDistinct:
 		in, err := ctx.kid(n, 0)
 		if err != nil {
 			return nil, err
 		}
-		idx := make([]int, len(in.Cols))
-		for i := range idx {
-			idx[i] = i
-		}
-		set := newRowSet(len(idx))
-		var rows [][]xdm.Item
-		for _, row := range in.Rows {
-			if set.insert(row, idx) {
-				rows = append(rows, row)
-			}
-		}
-		return NewTable(in.Cols, rows), nil
+		return distinctTable(in), nil
 	case OpUnion:
 		l, err := ctx.kid(n, 0)
 		if err != nil {
@@ -293,20 +301,11 @@ func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ridx := make([]int, len(l.Cols))
+		cols := make([]*Column, len(l.Cols))
 		for i, c := range l.Cols {
-			ridx[i] = r.Col(c)
+			cols[i] = concatColumns([]*Column{l.cols[i], r.cols[r.Col(c)]})
 		}
-		rows := make([][]xdm.Item, 0, len(l.Rows)+len(r.Rows))
-		rows = append(rows, l.Rows...)
-		for _, row := range r.Rows {
-			out := ctx.arena.row(len(ridx))
-			for i, s := range ridx {
-				out[i] = row[s]
-			}
-			rows = append(rows, out)
-		}
-		return NewTable(l.Cols, rows), nil
+		return &Table{Cols: l.Cols, cols: cols, n: l.n + r.n}, nil
 	case OpDiff:
 		l, err := ctx.kid(n, 0)
 		if err != nil {
@@ -316,58 +315,36 @@ func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ridx := make([]int, len(l.Cols))
-		for i, c := range l.Cols {
-			ridx[i] = r.Col(c)
-		}
-		counts := newRowCounter(len(ridx))
-		for _, row := range r.Rows {
-			counts.add(row, ridx, 1)
-		}
-		lidx := make([]int, len(l.Cols))
-		for i := range lidx {
-			lidx[i] = i
-		}
-		var rows [][]xdm.Item
-		for _, row := range l.Rows {
-			if counts.add(row, lidx, 0) > 0 {
-				counts.add(row, lidx, -1)
-				continue
-			}
-			rows = append(rows, row)
-		}
-		return NewTable(l.Cols, rows), nil
+		return diffTable(l, r), nil
 	case OpGroupCount:
 		in, err := ctx.kid(n, 0)
 		if err != nil {
 			return nil, err
 		}
-		gidx := make([]int, len(n.GroupCols))
-		for i, c := range n.GroupCols {
-			gidx[i] = in.Col(c)
+		if len(n.GroupCols) != 1 {
+			return nil, xdm.Errorf(xdm.ErrType, "algebra: grouped count supports one group column, got %d", len(n.GroupCols))
 		}
-		if len(gidx) != 1 {
-			return nil, xdm.Errorf(xdm.ErrType, "algebra: grouped count supports one group column, got %d", len(gidx))
-		}
+		g := in.cols[in.Col(n.GroupCols[0])].reader()
 		slot := map[ikey]int{}
 		var reps []xdm.Item
 		var counts []int64
-		for _, row := range in.Rows {
-			k := itemIKey(row[gidx[0]])
+		for r := 0; r < in.n; r++ {
+			it := g.item(r)
+			k := itemIKey(it)
 			i, ok := slot[k]
 			if !ok {
 				i = len(reps)
 				slot[k] = i
-				reps = append(reps, row[gidx[0]])
+				reps = append(reps, it)
 				counts = append(counts, 0)
 			}
 			counts[i]++
 		}
-		rows := make([][]xdm.Item, len(reps))
-		for i, rep := range reps {
-			rows[i] = []xdm.Item{rep, xdm.NewInteger(counts[i])}
+		cvals := make([]xdm.Item, len(counts))
+		for i, c := range counts {
+			cvals[i] = xdm.NewInteger(c)
 		}
-		return NewTable(n.Schema(), rows), nil
+		return NewColTable(n.Schema(), []*Column{columnFromItems(reps), genericColumn(cvals)}), nil
 	case OpNumOp:
 		return ctx.evalNumOp(n)
 	case OpRowTag:
@@ -375,11 +352,7 @@ func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rows := make([][]xdm.Item, len(in.Rows))
-		for r, row := range in.Rows {
-			rows[r] = ctx.arena.extendRow(row, xdm.NewInteger(int64(r+1)))
-		}
-		return NewTable(n.Schema(), rows), nil
+		return NewColTable(n.Schema(), append(aliasCols(in), intRangeColumn(in.n))), nil
 	case OpRowNum:
 		return ctx.evalRowNum(n)
 	case OpStep:
@@ -394,12 +367,105 @@ func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
 	return nil, xdm.Errorf(xdm.ErrType, "algebra: unknown operator %v", n.Op)
 }
 
-// concatRows joins two rows into one arena-backed row.
-func (a *itemArena) concatRows(x, y []xdm.Item) []xdm.Item {
-	out := a.row(len(x) + len(y))
-	copy(out, x)
-	copy(out[len(x):], y)
-	return out
+// joinGather materializes a join result: left columns gathered by li,
+// right columns by ri, under the operator's output schema.
+func joinGather(names []string, l *Table, li []int32, r *Table, ri []int32) *Table {
+	cols := make([]*Column, 0, len(l.cols)+len(r.cols))
+	for _, c := range l.cols {
+		cols = append(cols, c.gather(li))
+	}
+	for _, c := range r.cols {
+		cols = append(cols, c.gather(ri))
+	}
+	return &Table{Cols: names, cols: cols, n: len(li)}
+}
+
+// distinctTable is δ over the full row. Single packed columns deduplicate
+// on the stored identity words directly; general rows go through the
+// rowSet scratch-row path.
+func distinctTable(in *Table) *Table {
+	var sel []int32
+	if len(in.cols) == 1 && in.cols[0].IsPacked() {
+		set := newRowSet(1)
+		for i, k := range in.cols[0].packed {
+			if set.insertPacked1(k) {
+				sel = append(sel, int32(i))
+			}
+		}
+		return in.gather(sel)
+	}
+	idx := make([]int, len(in.cols))
+	readers := make([]reader, len(in.cols))
+	for i, c := range in.cols {
+		idx[i] = i
+		readers[i] = c.reader()
+	}
+	set := newRowSet(len(idx))
+	row := make([]xdm.Item, len(in.cols))
+	for r := 0; r < in.n; r++ {
+		for c := range readers {
+			row[c] = readers[c].item(r)
+		}
+		if set.insert(row, idx) {
+			sel = append(sel, int32(r))
+		}
+	}
+	return in.gather(sel)
+}
+
+// diffTable is bag difference (EXCEPT ALL) with right columns aligned to
+// the left schema by name; single packed columns count identity words
+// directly.
+func diffTable(l, r *Table) *Table {
+	ridx := make([]int, len(l.Cols))
+	for i, c := range l.Cols {
+		ridx[i] = r.Col(c)
+	}
+	var sel []int32
+	if len(l.cols) == 1 && l.cols[0].IsPacked() && r.cols[ridx[0]].IsPacked() {
+		counts := newRowCounter(1)
+		for _, k := range r.cols[ridx[0]].packed {
+			counts.addPacked1(k, 1)
+		}
+		for i, k := range l.cols[0].packed {
+			if counts.addPacked1(k, 0) > 0 {
+				counts.addPacked1(k, -1)
+				continue
+			}
+			sel = append(sel, int32(i))
+		}
+		return l.gather(sel)
+	}
+	counts := newRowCounter(len(l.Cols))
+	rrow := make([]xdm.Item, len(ridx))
+	rIdent := make([]int, len(ridx))
+	rReaders := make([]reader, len(ridx))
+	for i, c := range ridx {
+		rIdent[i] = i
+		rReaders[i] = r.cols[c].reader()
+	}
+	for i := 0; i < r.n; i++ {
+		for c := range rReaders {
+			rrow[c] = rReaders[c].item(i)
+		}
+		counts.add(rrow, rIdent, 1)
+	}
+	lReaders := make([]reader, len(l.cols))
+	for i, c := range l.cols {
+		lReaders[i] = c.reader()
+	}
+	lrow := make([]xdm.Item, len(l.cols))
+	for i := 0; i < l.n; i++ {
+		for c := range lReaders {
+			lrow[c] = lReaders[c].item(i)
+		}
+		if counts.add(lrow, rIdent, 0) > 0 {
+			counts.add(lrow, rIdent, -1)
+			continue
+		}
+		sel = append(sel, int32(i))
+	}
+	return l.gather(sel)
 }
 
 // ---- keys and comparisons ---------------------------------------------
@@ -497,17 +563,18 @@ func (ctx *ExecContext) evalJoin(n *Node, semi, anti bool) (*Table, error) {
 	// Build a hash index on the right side over the equality predicates;
 	// the (build, probe) key-namespace scheme guarantees each matching
 	// pair meets under exactly one key, so no match deduplication needed.
-	rEqIdx := make([]int, len(eq))
-	lEqIdx := make([]int, len(eq))
+	rEqCols := make([]*Column, len(eq))
+	lEqCols := make([]*Column, len(eq))
 	for i, p := range eq {
-		lEqIdx[i] = l.Col(p.L)
-		rEqIdx[i] = r.Col(p.R)
+		lEqCols[i] = l.cols[l.Col(p.L)]
+		rEqCols[i] = r.cols[r.Col(p.R)]
 	}
 	// Node-identity keys bypass the promotion-namespace machinery: a node
 	// only ever meets another node, under exactly its packed identity, so
-	// both sides skip the per-row []ikey key-slice allocation. Indexes are
-	// allocated for the arity actually joined on (lookups on the unused
-	// nil maps are legal and always miss).
+	// both sides skip the per-row []ikey key-slice allocation — and when a
+	// key column is packed, the stored word *is* the hash key, read straight
+	// off the vector. Indexes are allocated for the arity actually joined on
+	// (lookups on the unused nil maps are legal and always miss).
 	var idx1 map[ikey][]int32
 	var idx2 map[ikey2][]int32
 	var nidx1 map[uint64][]int32
@@ -520,78 +587,109 @@ func (ctx *ExecContext) evalJoin(n *Node, semi, anti bool) (*Table, error) {
 		idx2 = map[ikey2][]int32{}
 		nidx2 = map[[2]uint64][]int32{}
 	}
-	for ri, row := range r.Rows {
-		switch len(eq) {
-		case 1:
-			if it := row[rEqIdx[0]]; it.IsNode() {
+	var ka, kb [2]ikey // stack scratch for promoted keys
+	switch len(eq) {
+	case 1:
+		if rEqCols[0].IsPacked() {
+			for ri, k := range rEqCols[0].packed {
+				nidx1[k] = append(nidx1[k], int32(ri))
+			}
+			break
+		}
+		for ri, it := range rEqCols[0].items {
+			if it.IsNode() {
 				k := nodeKey64(it.Node())
 				nidx1[k] = append(nidx1[k], int32(ri))
 				continue
 			}
-			for _, k := range buildIKeys(row[rEqIdx[0]]) {
+			for _, k := range ka[:buildIKeys(&ka, it)] {
 				idx1[k] = append(idx1[k], int32(ri))
 			}
-		case 2:
-			ia, ib := row[rEqIdx[0]], row[rEqIdx[1]]
+		}
+	case 2:
+		ra, rb := rEqCols[0].reader(), rEqCols[1].reader()
+		for ri := 0; ri < r.n; ri++ {
+			ia, ib := ra.item(ri), rb.item(ri)
 			if ia.IsNode() && ib.IsNode() {
 				k := [2]uint64{nodeKey64(ia.Node()), nodeKey64(ib.Node())}
 				nidx2[k] = append(nidx2[k], int32(ri))
 				continue
 			}
-			for _, ka := range buildIKeys(ia) {
-				for _, kb := range buildIKeys(ib) {
-					k := ikey2{ka, kb}
+			na, nb := buildIKeys(&ka, ia), buildIKeys(&kb, ib)
+			for _, a := range ka[:na] {
+				for _, b := range kb[:nb] {
+					k := ikey2{a, b}
 					idx2[k] = append(idx2[k], int32(ri))
 				}
 			}
 		}
 	}
-	lThetaIdx := make([]int, len(theta))
-	rThetaIdx := make([]int, len(theta))
+	lThetaCols := make([]*Column, len(theta))
+	rThetaCols := make([]*Column, len(theta))
 	for i, p := range theta {
-		lThetaIdx[i] = l.Col(p.L)
-		rThetaIdx[i] = r.Col(p.R)
+		lThetaCols[i] = l.cols[l.Col(p.L)]
+		rThetaCols[i] = r.cols[r.Col(p.R)]
 	}
 	// probe matches one probe-side row range against the (now read-only)
-	// hash indexes. Sharded probing hands each chunk its own arena and
-	// candidates scratch; per-chunk outputs concatenate in chunk order, so
-	// the join's row order is identical at every worker count.
-	probe := func(lrows [][]xdm.Item, arena *itemArena) [][]xdm.Item {
-		var rows [][]xdm.Item
+	// hash indexes, producing matched index pairs — materialization is a
+	// single gather after all chunks return. Sharded probing hands each
+	// chunk its own readers and candidates scratch; per-chunk outputs
+	// concatenate in chunk order, so the join's row order is identical at
+	// every worker count.
+	probe := func(lo, hi int) ([]int32, []int32) {
+		var li, ri []int32
 		var candidates []int32
-		for _, lrow := range lrows {
+		var pka, pkb [2]ikey // per-shard stack scratch for promoted keys
+		lReaders := make([]reader, len(theta))
+		rReaders := make([]reader, len(theta))
+		for i := range theta {
+			lReaders[i] = lThetaCols[i].reader()
+			rReaders[i] = rThetaCols[i].reader()
+		}
+		var pa, pb reader
+		if len(eq) >= 1 {
+			pa = lEqCols[0].reader()
+		}
+		if len(eq) == 2 {
+			pb = lEqCols[1].reader()
+		}
+		for row := lo; row < hi; row++ {
 			matched := false
 			candidates = candidates[:0]
 			switch len(eq) {
 			case 1:
-				if it := lrow[lEqIdx[0]]; it.IsNode() {
-					candidates = append(candidates, nidx1[nodeKey64(it.Node())]...)
+				if lEqCols[0].IsPacked() {
+					candidates = append(candidates, nidx1[lEqCols[0].packed[row]]...)
 					break
 				}
-				for _, k := range probeIKeys(lrow[lEqIdx[0]]) {
-					candidates = append(candidates, idx1[k]...)
+				if it := lEqCols[0].items[row]; it.IsNode() {
+					candidates = append(candidates, nidx1[nodeKey64(it.Node())]...)
+				} else {
+					for _, k := range pka[:probeIKeys(&pka, it)] {
+						candidates = append(candidates, idx1[k]...)
+					}
 				}
 			case 2:
-				ia, ib := lrow[lEqIdx[0]], lrow[lEqIdx[1]]
+				ia, ib := pa.item(row), pb.item(row)
 				if ia.IsNode() && ib.IsNode() {
 					candidates = append(candidates, nidx2[[2]uint64{nodeKey64(ia.Node()), nodeKey64(ib.Node())}]...)
 					break
 				}
-				for _, ka := range probeIKeys(ia) {
-					for _, kb := range probeIKeys(ib) {
-						candidates = append(candidates, idx2[ikey2{ka, kb}]...)
+				na, nb := probeIKeys(&pka, ia), probeIKeys(&pkb, ib)
+				for _, a := range pka[:na] {
+					for _, b := range pkb[:nb] {
+						candidates = append(candidates, idx2[ikey2{a, b}]...)
 					}
 				}
 			default:
-				for i := range r.Rows {
+				for i := 0; i < r.n; i++ {
 					candidates = append(candidates, int32(i))
 				}
 			}
-			for _, ri := range candidates {
-				rrow := r.Rows[int(ri)]
+			for _, cand := range candidates {
 				ok := true
-				for i, p := range theta {
-					if !predHolds(lrow[lThetaIdx[i]], rrow[rThetaIdx[i]], p.Cmp) {
+				for i := range theta {
+					if !predHolds(lReaders[i].item(row), rReaders[i].item(int(cand)), theta[i].Cmp) {
 						ok = false
 						break
 					}
@@ -603,37 +701,39 @@ func (ctx *ExecContext) evalJoin(n *Node, semi, anti bool) (*Table, error) {
 				if semi {
 					break
 				}
-				rows = append(rows, arena.concatRows(lrow, rrow))
+				li = append(li, int32(row))
+				ri = append(ri, cand)
 			}
 			if semi && matched != anti {
-				rows = append(rows, lrow)
+				li = append(li, int32(row))
 			}
 		}
-		return rows
+		return li, ri
 	}
-	var rows [][]xdm.Item
+	var li, ri []int32
 	workers := ctx.workers()
-	if workers <= 1 || len(l.Rows) < 2*parMinRows {
+	if workers <= 1 || l.n < 2*parMinRows {
 		if err := ctx.cancelled(); err != nil {
 			return nil, err
 		}
-		rows = probe(l.Rows, &ctx.arena)
+		li, ri = probe(0, l.n)
 	} else {
-		chunks := par.Chunks(len(l.Rows), workers, parMinRows)
-		outs := make([][][]xdm.Item, len(chunks))
+		chunks := par.Chunks(l.n, workers, parMinRows)
+		louts := make([][]int32, len(chunks))
+		routs := make([][]int32, len(chunks))
 		if err := par.Run(ctx.Ctx, workers, len(chunks), func(i int) error {
-			arena := &itemArena{}
-			outs[i] = probe(l.Rows[chunks[i][0]:chunks[i][1]], arena)
+			louts[i], routs[i] = probe(chunks[i][0], chunks[i][1])
 			return nil
 		}); err != nil {
 			return nil, err
 		}
-		rows = concatRowChunks(outs)
+		li = concatIndexChunks(louts)
+		ri = concatIndexChunks(routs)
 	}
 	if semi {
-		return NewTable(l.Cols, rows), nil
+		return l.gather(li), nil
 	}
-	return NewTable(n.Schema(), rows), nil
+	return joinGather(n.Schema(), l, li, r, ri), nil
 }
 
 // predHolds evaluates one theta-join predicate, covering node comparisons
@@ -682,23 +782,28 @@ func (ctx *ExecContext) evalNumOp(n *Node) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	argIdx := make([]int, len(n.NumArgs))
+	readers := make([]reader, len(n.NumArgs))
 	for i, a := range n.NumArgs {
-		argIdx[i] = in.Col(a)
+		readers[i] = in.cols[in.Col(a)].reader()
 	}
-	rows := make([][]xdm.Item, len(in.Rows))
-	for r, row := range in.Rows {
-		rows[r] = ctx.arena.extendRow(row, applyNumOp(n.Num, row, argIdx))
+	out := newColBuilder(in.n)
+	args := make([]xdm.Item, len(readers))
+	for r := 0; r < in.n; r++ {
+		for i := range readers {
+			args[i] = readers[i].item(r)
+		}
+		out.append(applyNumOp(n.Num, args))
 	}
-	return NewTable(n.Schema(), rows), nil
+	return NewColTable(n.Schema(), append(aliasCols(in), out.finish())), nil
 }
 
-// applyNumOp computes one ⊚ application. The relational engine glosses
-// dynamic type errors (it computes over flat columns, not sequences): a
-// failed comparison yields false, failed arithmetic yields NaN. DESIGN.md
-// §7 records this deliberate divergence from the interpreter.
-func applyNumOp(kind NumKind, row []xdm.Item, idx []int) xdm.Item {
-	arg := func(i int) xdm.Item { return row[idx[i]] }
+// applyNumOp computes one ⊚ application over the fetched argument items.
+// The relational engine glosses dynamic type errors (it computes over flat
+// columns, not sequences): a failed comparison yields false, failed
+// arithmetic yields NaN. DESIGN.md §7 records this deliberate divergence
+// from the interpreter.
+func applyNumOp(kind NumKind, args []xdm.Item) xdm.Item {
+	arg := func(i int) xdm.Item { return args[i] }
 	switch kind {
 	case NumAdd, NumSub, NumMul, NumDiv, NumIDiv, NumMod:
 		a := xdm.AtomizeItem(arg(0)).NumberValue()
@@ -782,22 +887,24 @@ func (ctx *ExecContext) evalRowNum(n *Node) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	gidx := make([]int, len(n.GroupCols))
+	// Materialize the sort and group key columns once: the sort makes
+	// O(n log n) random accesses, which packed columns answer fastest from
+	// a flat item slice.
+	gvals := make([][]xdm.Item, len(n.GroupCols))
 	for i, c := range n.GroupCols {
-		gidx[i] = in.Col(c)
+		gvals[i] = materialize(in.cols[in.Col(c)])
 	}
-	sidx := make([]int, len(n.SortCols))
+	svals := make([][]xdm.Item, len(n.SortCols))
 	for i, c := range n.SortCols {
-		sidx[i] = in.Col(c)
+		svals[i] = materialize(in.cols[in.Col(c)])
 	}
-	order := make([]int, len(in.Rows))
+	order := make([]int, in.n)
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		ra, rb := in.Rows[order[a]], in.Rows[order[b]]
-		for _, s := range sidx {
-			if c := compareItems(ra[s], rb[s]); c != 0 {
+		for _, s := range svals {
+			if c := compareItems(s[order[a]], s[order[b]]); c != 0 {
 				if n.Desc {
 					return c > 0
 				}
@@ -806,81 +913,121 @@ func (ctx *ExecContext) evalRowNum(n *Node) (*Table, error) {
 		}
 		return false
 	})
-	ranks := make([]int64, len(in.Rows))
-	switch len(gidx) {
+	ranks := make([]int64, in.n)
+	switch len(gvals) {
 	case 0:
 		var c int64
 		for _, ri := range order {
 			c++
 			ranks[ri] = c
 		}
-	case 1:
-		counters := newRowCounter(1)
-		for _, ri := range order {
-			ranks[ri] = int64(counters.add(in.Rows[ri], gidx, 1))
-		}
 	default:
-		if len(gidx) > 2 {
+		if len(gvals) > 2 {
 			return nil, xdm.Errorf(xdm.ErrType, "algebra: row numbering supports at most two partition columns")
 		}
-		counters := newRowCounter(2)
+		counters := newRowCounter(len(gvals))
+		gidx := make([]int, len(gvals))
+		for i := range gidx {
+			gidx[i] = i
+		}
+		grow := make([]xdm.Item, len(gvals))
 		for _, ri := range order {
-			ranks[ri] = int64(counters.add(in.Rows[ri], gidx, 1))
+			for c := range gvals {
+				grow[c] = gvals[c][ri]
+			}
+			ranks[ri] = int64(counters.add(grow, gidx, 1))
 		}
 	}
-	rows := make([][]xdm.Item, len(in.Rows))
-	for r, row := range in.Rows {
-		rows[r] = ctx.arena.extendRow(row, xdm.NewInteger(ranks[r]))
+	rvals := make([]xdm.Item, in.n)
+	for i, rk := range ranks {
+		rvals[i] = xdm.NewInteger(rk)
 	}
-	return NewTable(n.Schema(), rows), nil
+	return NewColTable(n.Schema(), append(aliasCols(in), genericColumn(rvals))), nil
+}
+
+// materialize flattens a column into an item slice (random-access reads).
+func materialize(c *Column) []xdm.Item {
+	if c.items != nil {
+		return c.items
+	}
+	out := make([]xdm.Item, len(c.packed))
+	r := c.reader()
+	for i := range c.packed {
+		out[i] = r.item(i)
+	}
+	return out
 }
 
 // evalStep is the XPath step join: the relational face of the staircase
 // join, answering axis steps with range scans over the pre/size/level
-// encoding in the xdm store. Large inputs shard row ranges across the
-// worker pool — axis scans from distinct context nodes are independent —
-// with per-worker arenas and chunk-ordered concatenation, so the output
-// row order never depends on the worker count.
+// encoding in the xdm store. Each context row contributes one (source row,
+// result node) pair per match — the output is assembled as one gather of
+// the carried columns plus a fresh packed node column, so a step no longer
+// copies a row per match. Large inputs shard row ranges across the worker
+// pool — axis scans from distinct context nodes are independent — with
+// chunk-ordered concatenation, so the output row order never depends on
+// the worker count.
 func (ctx *ExecContext) evalStep(n *Node) (*Table, error) {
 	in, err := ctx.kid(n, 0)
 	if err != nil {
 		return nil, err
 	}
 	c := in.Col(n.ItemCol)
+	var src []int32
+	var nodes *Column
 	workers := ctx.workers()
-	if workers <= 1 || len(in.Rows) < 2*parMinRows {
+	if workers <= 1 || in.n < 2*parMinRows {
 		if err := ctx.cancelled(); err != nil {
 			return nil, err
 		}
-		return NewTable(in.Cols, ctx.stepRows(in.Rows, c, n, &ctx.arena, false)), nil
+		src, nodes = ctx.stepRange(n, in.cols[c], 0, in.n, false)
+	} else {
+		chunks := par.Chunks(in.n, workers, parMinRows)
+		srcs := make([][]int32, len(chunks))
+		outs := make([]*Column, len(chunks))
+		if err := par.Run(ctx.Ctx, workers, len(chunks), func(i int) error {
+			srcs[i], outs[i] = ctx.stepRange(n, in.cols[c], chunks[i][0], chunks[i][1], true)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		src = concatIndexChunks(srcs)
+		nodes = concatColumns(outs)
 	}
-	chunks := par.Chunks(len(in.Rows), workers, parMinRows)
-	outs := make([][][]xdm.Item, len(chunks))
-	if err := par.Run(ctx.Ctx, workers, len(chunks), func(i int) error {
-		arena := &itemArena{}
-		outs[i] = ctx.stepRows(in.Rows[chunks[i][0]:chunks[i][1]], c, n, arena, true)
-		return nil
-	}); err != nil {
-		return nil, err
-	}
-	return NewTable(in.Cols, concatRowChunks(outs)), nil
-}
-
-// stepRows answers the step for one row range. When the call is one shard
-// of a parallel step (shared), the axis-result cache is accessed under
-// stepMu; a raced miss computes the identical slice twice and
-// last-write-wins, which is safe because axis scans are pure functions of
-// immutable documents. Unsharded calls skip the lock — the plan walk is
-// single-threaded outside par.Run sections, so nothing else can touch the
-// cache concurrently.
-func (ctx *ExecContext) stepRows(rows [][]xdm.Item, c int, n *Node, arena *itemArena, shared bool) [][]xdm.Item {
-	var out [][]xdm.Item
-	for _, row := range rows {
-		if !row[c].IsNode() {
+	cols := make([]*Column, len(in.cols))
+	for i, col := range in.cols {
+		if i == c {
+			cols[i] = nodes
 			continue
 		}
-		src := row[c].Node()
-		key := stepCacheKey{doc: src.D, pre: src.Pre, axis: n.Axis, kind: n.Test.Kind, name: n.Test.Name}
+		cols[i] = col.gather(src)
+	}
+	return &Table{Cols: in.Cols, cols: cols, n: len(src)}, nil
+}
+
+// stepRange answers the step for rows [lo, hi) of the context column,
+// returning the source row index and result node per match. When the call
+// is one shard of a parallel step (shared), the axis-result cache is
+// accessed under stepMu; a raced miss computes the identical slice twice
+// and last-write-wins, which is safe because axis scans are pure functions
+// of immutable documents. Unsharded calls skip the lock — the plan walk is
+// single-threaded outside par.Run sections, so nothing else can touch the
+// cache concurrently. The result column shares the input's document
+// dictionary: every axis stays inside its context node's document, so a
+// packed input's dictionary already covers every match.
+func (ctx *ExecContext) stepRange(n *Node, col *Column, lo, hi int, shared bool) ([]int32, *Column) {
+	var src []int32
+	b := newColBuilder(hi - lo)
+	if col.IsPacked() {
+		b.shareDict(col.docs)
+	}
+	r := col.reader()
+	for i := lo; i < hi; i++ {
+		if !col.IsNodeAt(i) {
+			continue
+		}
+		node := r.node(i)
+		key := stepCacheKey{doc: node.D, pre: node.Pre, axis: n.Axis, kind: n.Test.Kind, name: n.Test.Name}
 		if shared {
 			ctx.stepMu.Lock()
 		}
@@ -889,7 +1036,7 @@ func (ctx *ExecContext) stepRows(rows [][]xdm.Item, c int, n *Node, arena *itemA
 			ctx.stepMu.Unlock()
 		}
 		if !ok {
-			for _, m := range axisNodes(src, n.Axis) {
+			for _, m := range axisNodes(node, n.Axis) {
 				if matchTest(m, n.Test, n.Axis) {
 					matches = append(matches, m)
 				}
@@ -903,25 +1050,24 @@ func (ctx *ExecContext) stepRows(rows [][]xdm.Item, c int, n *Node, arena *itemA
 			}
 		}
 		for _, m := range matches {
-			o := arena.copyRow(row)
-			o[c] = xdm.NewNode(m)
-			out = append(out, o)
+			src = append(src, int32(i))
+			b.appendNode(m)
 		}
 	}
-	return out
+	return src, b.finish()
 }
 
-// concatRowChunks flattens per-chunk outputs in chunk order.
-func concatRowChunks(outs [][][]xdm.Item) [][]xdm.Item {
+// concatIndexChunks flattens per-chunk index vectors in chunk order.
+func concatIndexChunks(outs [][]int32) []int32 {
 	total := 0
 	for _, o := range outs {
 		total += len(o)
 	}
-	rows := make([][]xdm.Item, 0, total)
+	idx := make([]int32, 0, total)
 	for _, o := range outs {
-		rows = append(rows, o...)
+		idx = append(idx, o...)
 	}
-	return rows
+	return idx
 }
 
 func axisNodes(node xdm.NodeRef, axis ast.Axis) []xdm.NodeRef {
@@ -994,20 +1140,29 @@ func (ctx *ExecContext) evalIDLookup(n *Node) (*Table, error) {
 		return nil, err
 	}
 	valIdx := in.Col(n.ItemCol)
-	ctxIdx := in.Col(n.Col)
-	var rows [][]xdm.Item
-	for _, row := range in.Rows {
-		if !row[ctxIdx].IsNode() {
+	ctxCol := in.cols[in.Col(n.Col)]
+	valReader := in.cols[valIdx].reader()
+	var src []int32
+	out := newColBuilder(in.n)
+	for i := 0; i < in.n; i++ {
+		if !ctxCol.IsNodeAt(i) {
 			continue
 		}
-		doc := row[ctxIdx].Node().D
-		for _, tok := range strings.Fields(row[valIdx].StringValue()) {
+		doc := ctxCol.Node(i).D
+		for _, tok := range strings.Fields(valReader.item(i).StringValue()) {
 			if m, ok := doc.ByID(tok); ok {
-				out := ctx.arena.copyRow(row)
-				out[valIdx] = xdm.NewNode(m)
-				rows = append(rows, out)
+				src = append(src, int32(i))
+				out.appendNode(m)
 			}
 		}
 	}
-	return NewTable(in.Cols, rows), nil
+	cols := make([]*Column, len(in.cols))
+	for i, col := range in.cols {
+		if i == valIdx {
+			cols[i] = out.finish()
+			continue
+		}
+		cols[i] = col.gather(src)
+	}
+	return &Table{Cols: in.Cols, cols: cols, n: len(src)}, nil
 }

@@ -51,14 +51,11 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 		for dep := range deps {
 			delete(ctx.memo, dep)
 		}
-		// Drop the arena reference so the previous round's slabs — feed
-		// tables and rec-dependent intermediates whose memo entries were
-		// just invalidated — become collectible; rows that survived into
-		// memoized hoisted tables keep their slabs alive through their own
-		// references. Without this, a deep µ pins O(rounds × result) rows
-		// for the whole execution.
-		ctx.arena = itemArena{}
-		ctx.binding[n.RecBase] = feed.table(ctx)
+		// The previous round's feed table and rec-dependent intermediates
+		// become collectible here: their memo entries were just dropped,
+		// and columnar tables own their vectors outright — no shared slab
+		// pins O(rounds × result) rows across rounds.
+		ctx.binding[n.RecBase] = feed.table()
 		out, err := ctx.eval(n.Kids[1])
 		if err != nil {
 			return nil, err
@@ -114,7 +111,7 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 		run.Stats.Depth = d
 	}
 	run.Stats.ResultSize += res.size()
-	return res.table(ctx), nil
+	return res.table(), nil
 }
 
 // recDependents collects the sub-plan nodes reachable from root that
@@ -176,16 +173,19 @@ func newIterSets(t *Table) (*iterSets, error) { return newIterSetsN(t, 1, nil) }
 // newIterSetsN is newIterSets with the per-iteration document-order sorts
 // sharded across the worker pool. Ingest stays sequential (it builds the
 // shared iter map); each set's sort is independent, so sharding them
-// changes nothing observable.
+// changes nothing observable. A packed item column feeds node references
+// straight off the identity vector — no Item is ever built; only a generic
+// column can carry the non-node values Definition 2.1 rules out.
 func newIterSetsN(t *Table, workers int, cctx context.Context) (*iterSets, error) {
 	s := emptyIterSets()
-	iterIdx := t.Col("iter")
-	itemIdx := t.Col("item")
-	for _, row := range t.Rows {
-		if !row[itemIdx].IsNode() {
+	iters := t.ColAt(t.Col("iter")).reader()
+	items := t.ColAt(t.Col("item"))
+	itemR := items.reader()
+	for i := 0; i < t.Len(); i++ {
+		if !items.IsNodeAt(i) {
 			return nil, xdm.NewError(xdm.ErrType, "inflationary fixed point over non-node items")
 		}
-		s.add(row[iterIdx], row[itemIdx].Node())
+		s.add(iters.item(i), itemR.node(i))
 	}
 	if workers <= 1 || len(s.sets) < 2 {
 		s.sortAll()
@@ -335,28 +335,25 @@ func (s *iterSets) minus(o *iterSets) *iterSets {
 
 // table materializes the sets as an iter|pos|item relation with pos the
 // document-order rank within each iteration. Iterations are emitted in a
-// deterministic order. Row storage comes from the context's item arena:
-// one slab per table instead of one allocation per row. A nil context
-// falls back to plain allocation (tests).
-func (s *iterSets) table(ctx *ExecContext) *Table {
+// deterministic order. The layout is columnar: three vectors for the whole
+// family — the item column packed to identity words — instead of one row
+// allocation per node, which is what makes the per-round µ feed cheap.
+func (s *iterSets) table() *Table {
 	order := make([]xdm.Item, len(s.iters))
 	copy(order, s.iters)
 	sort.SliceStable(order, func(i, j int) bool { return compareItems(order[i], order[j]) < 0 })
-	rows := make([][]xdm.Item, 0, s.n)
-	var arena *itemArena
-	if ctx != nil {
-		arena = &ctx.arena
-	} else {
-		arena = &itemArena{}
-	}
+	iterV := make([]xdm.Item, 0, s.n)
+	posV := make([]xdm.Item, 0, s.n)
+	itemB := newColBuilder(s.n)
 	for _, iter := range order {
 		for i, n := range s.sets[itemIKey(iter)].nodes {
-			row := arena.row(3)
-			row[0], row[1], row[2] = iter, xdm.NewInteger(int64(i+1)), xdm.NewNode(n)
-			rows = append(rows, row)
+			iterV = append(iterV, iter)
+			posV = append(posV, xdm.NewInteger(int64(i+1)))
+			itemB.appendNode(n)
 		}
 	}
-	return NewTable([]string{"iter", "pos", "item"}, rows)
+	return NewColTable([]string{"iter", "pos", "item"},
+		[]*Column{genericColumn(iterV), genericColumn(posV), itemB.finish()})
 }
 
 // evalCtor executes a constructor operator: Kids[0] is the loop relation
@@ -374,50 +371,62 @@ func (ctx *ExecContext) evalCtor(n *Node) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	iterIdx := content.Col("iter")
-	posIdx := content.Col("pos")
-	itemIdx := content.Col("item")
-	byIter := map[ikey][][]xdm.Item{}
-	for _, row := range content.Rows {
-		byIter[itemIKey(row[iterIdx])] = append(byIter[itemIKey(row[iterIdx])], row)
+	iterR := content.ColAt(content.Col("iter")).reader()
+	posVals := materialize(content.ColAt(content.Col("pos")))
+	itemVals := materialize(content.ColAt(content.Col("item")))
+	byIter := map[ikey][]int32{}
+	for i := 0; i < content.Len(); i++ {
+		k := itemIKey(iterR.item(i))
+		byIter[k] = append(byIter[k], int32(i))
 	}
-	loopIter := loop.Col("iter")
-	rows := make([][]xdm.Item, 0, len(loop.Rows))
-	for _, lrow := range loop.Rows {
-		iter := lrow[loopIter]
-		items := byIter[itemIKey(iter)]
-		sort.SliceStable(items, func(a, b int) bool {
-			return compareItems(items[a][posIdx], items[b][posIdx]) < 0
+	loopIter := loop.ColAt(loop.Col("iter")).reader()
+	iterV := make([]xdm.Item, 0, loop.Len())
+	itemV := make([]xdm.Item, 0, loop.Len())
+	var scratch []xdm.Item // reused across loop rows; buildCtorNode copies out
+	for li := 0; li < loop.Len(); li++ {
+		iter := loopIter.item(li)
+		idx := byIter[itemIKey(iter)]
+		sort.SliceStable(idx, func(a, b int) bool {
+			return compareItems(posVals[idx[a]], posVals[idx[b]]) < 0
 		})
-		node, err := buildCtorNode(n, items, itemIdx)
+		scratch = scratch[:0]
+		for _, r := range idx {
+			scratch = append(scratch, itemVals[r])
+		}
+		node, err := buildCtorNode(n, scratch)
 		if err != nil {
 			return nil, err
 		}
 		if node != nil {
-			row := ctx.arena.row(3)
-			row[0], row[1], row[2] = iter, xdm.NewInteger(1), *node
-			rows = append(rows, row)
+			iterV = append(iterV, iter)
+			itemV = append(itemV, *node)
 		}
 	}
-	return NewTable([]string{"iter", "pos", "item"}, rows), nil
+	// The item column stays generic by construction: every constructed node
+	// lives in its own fresh document, exactly the shape packing loses on.
+	return NewColTable([]string{"iter", "pos", "item"}, []*Column{
+		columnFromItems(iterV),
+		repeatColumn(xdm.NewInteger(1), len(iterV)),
+		genericColumn(itemV),
+	}), nil
 }
 
-func buildCtorNode(n *Node, items [][]xdm.Item, itemIdx int) (*xdm.Item, error) {
+func buildCtorNode(n *Node, items []xdm.Item) (*xdm.Item, error) {
 	switch n.Ctor {
 	case CtorText:
 		if len(items) == 0 {
 			return nil, nil
 		}
 		parts := make([]string, len(items))
-		for i, row := range items {
-			parts[i] = row[itemIdx].StringValue()
+		for i, it := range items {
+			parts[i] = it.StringValue()
 		}
 		it := xdm.NewNode(xdm.NewLeafDoc(xdm.TextNode, "", strings.Join(parts, " ")))
 		return &it, nil
 	case CtorAttr:
 		parts := make([]string, len(items))
-		for i, row := range items {
-			parts[i] = row[itemIdx].StringValue()
+		for i, it := range items {
+			parts[i] = it.StringValue()
 		}
 		it := xdm.NewNode(xdm.NewLeafDoc(xdm.AttributeNode, n.CtorName, strings.Join(parts, " ")))
 		return &it, nil
@@ -432,8 +441,7 @@ func buildCtorNode(n *Node, items [][]xdm.Item, itemIdx int) (*xdm.Item, error) 
 				atomics = nil
 			}
 		}
-		for _, row := range items {
-			it := row[itemIdx]
+		for _, it := range items {
 			if !it.IsNode() {
 				atomics = append(atomics, it.StringValue())
 				contentStarted = true

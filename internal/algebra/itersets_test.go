@@ -61,16 +61,17 @@ func itemsIdentical(a, b xdm.Item) bool {
 
 func requireTablesIdentical(t *testing.T, what string, got, want *Table) {
 	t.Helper()
-	if len(got.Rows) != len(want.Rows) {
-		t.Fatalf("%s: %d rows, oracle has %d", what, len(got.Rows), len(want.Rows))
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: %d rows, oracle has %d", what, got.Len(), want.Len())
 	}
-	for r := range got.Rows {
-		if len(got.Rows[r]) != len(want.Rows[r]) {
-			t.Fatalf("%s: row %d width %d vs %d", what, r, len(got.Rows[r]), len(want.Rows[r]))
+	for r := 0; r < got.Len(); r++ {
+		grow, wrow := got.Row(r), want.Row(r)
+		if len(grow) != len(wrow) {
+			t.Fatalf("%s: row %d width %d vs %d", what, r, len(grow), len(wrow))
 		}
-		for c := range got.Rows[r] {
-			if !itemsIdentical(got.Rows[r][c], want.Rows[r][c]) {
-				t.Fatalf("%s: row %d col %d: %v vs oracle %v", what, r, c, got.Rows[r][c], want.Rows[r][c])
+		for c := range grow {
+			if !itemsIdentical(grow[c], wrow[c]) {
+				t.Fatalf("%s: row %d col %d: %v vs oracle %v", what, r, c, grow[c], wrow[c])
 			}
 		}
 	}
@@ -112,12 +113,12 @@ func TestIterSetsAbsorbMatchesPlusMinusOracle(t *testing.T) {
 				t.Fatalf("trial %d round %d: delta size %d, oracle %d", trial, round, delta.size(), odelta.size())
 			}
 			requireTablesIdentical(t, fmt.Sprintf("trial %d round %d delta", trial, round),
-				delta.table(nil), odelta.table(nil))
+				delta.table(), odelta.table())
 			if acc.size() != oracle.size() {
 				t.Fatalf("trial %d round %d: accumulated size %d, oracle %d", trial, round, acc.size(), oracle.size())
 			}
 			requireTablesIdentical(t, fmt.Sprintf("trial %d round %d accumulated", trial, round),
-				acc.table(nil), oracle.table(nil))
+				acc.table(), oracle.table())
 		}
 	}
 }

@@ -104,57 +104,78 @@ type pk2 struct{ a, b pk }
 
 // buildIKeys/probeIKeys realize general-comparison promotion through
 // multi-key insertion and probing (see the scheme documented on buildKeys).
-func buildIKeys(it xdm.Item) []ikey {
+// An item yields at most two keys, so callers pass a stack array to fill
+// and get a count back — joins insert and probe millions of rows, and a
+// heap-allocated key slice per row was the executor's top allocation site.
+func buildIKeys(dst *[2]ikey, it xdm.Item) int {
 	switch it.Kind() {
 	case xdm.KNode:
 		n := it.Node()
-		return []ikey{{kind: ikNode, doc: n.D, pre: n.Pre}}
+		dst[0] = ikey{kind: ikNode, doc: n.D, pre: n.Pre}
+		return 1
 	case xdm.KString:
-		return []ikey{{kind: ikJoinStr, str: it.StringValue()}}
+		dst[0] = ikey{kind: ikJoinStr, str: it.StringValue()}
+		return 1
 	case xdm.KUntyped:
-		keys := []ikey{{kind: ikJoinStr, str: it.StringValue()}}
+		dst[0] = ikey{kind: ikJoinStr, str: it.StringValue()}
 		if f, err := xdm.ParseDouble(strings.TrimSpace(it.StringValue())); err == nil {
-			keys = append(keys, ikey{kind: ikJoinN, num: f})
+			dst[1] = ikey{kind: ikJoinN, num: f}
+			return 2
 		}
-		return keys
+		return 1
 	case xdm.KInteger:
 		f := float64(it.Int())
-		return []ikey{{kind: ikJoinN, num: f}, {kind: ikJoinM, num: f}}
+		dst[0] = ikey{kind: ikJoinN, num: f}
+		dst[1] = ikey{kind: ikJoinM, num: f}
+		return 2
 	case xdm.KDouble:
-		return []ikey{{kind: ikJoinN, num: it.Float()}, {kind: ikJoinM, num: it.Float()}}
+		dst[0] = ikey{kind: ikJoinN, num: it.Float()}
+		dst[1] = ikey{kind: ikJoinM, num: it.Float()}
+		return 2
 	case xdm.KBoolean:
 		if it.Bool() {
-			return []ikey{{kind: ikBoolTrue}}
+			dst[0] = ikey{kind: ikBoolTrue}
+		} else {
+			dst[0] = ikey{kind: ikBoolFalse}
 		}
-		return []ikey{{kind: ikBoolFalse}}
+		return 1
 	}
-	return []ikey{{kind: 255}}
+	dst[0] = ikey{kind: 255}
+	return 1
 }
 
-func probeIKeys(it xdm.Item) []ikey {
+func probeIKeys(dst *[2]ikey, it xdm.Item) int {
 	switch it.Kind() {
 	case xdm.KNode:
 		n := it.Node()
-		return []ikey{{kind: ikNode, doc: n.D, pre: n.Pre}}
+		dst[0] = ikey{kind: ikNode, doc: n.D, pre: n.Pre}
+		return 1
 	case xdm.KString:
-		return []ikey{{kind: ikJoinStr, str: it.StringValue()}}
+		dst[0] = ikey{kind: ikJoinStr, str: it.StringValue()}
+		return 1
 	case xdm.KUntyped:
-		keys := []ikey{{kind: ikJoinStr, str: it.StringValue()}}
+		dst[0] = ikey{kind: ikJoinStr, str: it.StringValue()}
 		if f, err := xdm.ParseDouble(strings.TrimSpace(it.StringValue())); err == nil {
-			keys = append(keys, ikey{kind: ikJoinM, num: f})
+			dst[1] = ikey{kind: ikJoinM, num: f}
+			return 2
 		}
-		return keys
+		return 1
 	case xdm.KInteger:
-		return []ikey{{kind: ikJoinN, num: float64(it.Int())}}
+		dst[0] = ikey{kind: ikJoinN, num: float64(it.Int())}
+		return 1
 	case xdm.KDouble:
-		return []ikey{{kind: ikJoinN, num: it.Float()}}
+		dst[0] = ikey{kind: ikJoinN, num: it.Float()}
+		return 1
 	case xdm.KBoolean:
 		if it.Bool() {
-			return []ikey{{kind: ikBoolTrue}}
+			dst[0] = ikey{kind: ikBoolTrue}
+		} else {
+			dst[0] = ikey{kind: ikBoolFalse}
 		}
-		return []ikey{{kind: ikBoolFalse}}
+		return 1
 	}
-	return []ikey{{kind: 255}}
+	dst[0] = ikey{kind: 255}
+	return 1
 }
 
 // rowSet tracks distinct rows of width 1–3 without string building; wider
@@ -185,6 +206,18 @@ func newRowSet(width int) *rowSet {
 		s.ks = map[string]struct{}{}
 	}
 	return s
+}
+
+// insertPacked1 inserts a width-1 node row by its packed identity word —
+// the value a packed column stores, so deduplicating such a column never
+// rebuilds an Item or recomputes a key.
+func (s *rowSet) insertPacked1(k uint64) bool {
+	key := pk{1, k}
+	if _, dup := s.p1[key]; dup {
+		return false
+	}
+	s.p1[key] = struct{}{}
+	return true
 }
 
 // insert reports whether the row was new.
@@ -267,6 +300,14 @@ func newRowCounter(width int) *rowCounter {
 		c.ks = map[string]int{}
 	}
 	return c
+}
+
+// addPacked1 counts a width-1 node row by its packed identity word
+// (packed-column twin of insertPacked1).
+func (c *rowCounter) addPacked1(k uint64, delta int) int {
+	key := pk{1, k}
+	c.p1[key] += delta
+	return c.p1[key]
 }
 
 func (c *rowCounter) add(row []xdm.Item, idx []int, delta int) int {

@@ -6,6 +6,8 @@ import (
 	"reflect"
 	"runtime"
 	"testing"
+
+	"repro/internal/par/leaktest"
 	"time"
 
 	"repro/internal/xdm"
@@ -101,7 +103,7 @@ func TestMuCancellation(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("cancelled evaluation did not return")
 	}
-	waitForGoroutines(t, before)
+	leaktest.Wait(t, before)
 }
 
 // TestMuParallelErrorDeterministic forces a mid-round type error (a
@@ -131,17 +133,5 @@ func TestMuParallelErrorDeterministic(t *testing.T) {
 			t.Fatalf("p=%d: error %q differs from sequential %q", p, evalErr.Error(), want)
 		}
 	}
-	waitForGoroutines(t, before)
-}
-
-func waitForGoroutines(t *testing.T, before int) {
-	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+	leaktest.Wait(t, before)
 }

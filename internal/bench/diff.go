@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+)
+
+// DiffOptions configure a snapshot comparison. Tolerances are relative:
+// 0.25 fails a cell whose current value exceeds baseline × 1.25. A nil
+// Cells pattern compares every cell present in both files.
+type DiffOptions struct {
+	Cells           *regexp.Regexp
+	NsTolerance     float64
+	AllocsTolerance float64
+}
+
+// CellDiff is the comparison of one benchmark cell.
+type CellDiff struct {
+	Name         string
+	BaseNs       float64
+	CurNs        float64
+	BaseAllocs   int64
+	CurAllocs    int64
+	NsRatio      float64 // cur/base
+	AllocsRatio  float64 // cur/base
+	NsRegressed  bool
+	AllocsRegred bool
+}
+
+// Regressed reports whether either gated metric exceeded its tolerance.
+func (d CellDiff) Regressed() bool { return d.NsRegressed || d.AllocsRegred }
+
+// Diff compares the cells present in both snapshots (matched by exact
+// name, with any /p=N worker-count suffix intact) and flags regressions
+// beyond the tolerances. Cells present in only one file are skipped: the
+// gate protects tracked cells, it does not freeze the cell set.
+func Diff(baseline, current File, opts DiffOptions) []CellDiff {
+	base := make(map[string]Entry, len(baseline.Entries))
+	for _, e := range baseline.Entries {
+		base[e.Name] = e
+	}
+	var out []CellDiff
+	for _, cur := range current.Entries {
+		b, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		if opts.Cells != nil && !opts.Cells.MatchString(cur.Name) {
+			continue
+		}
+		d := CellDiff{
+			Name:       cur.Name,
+			BaseNs:     b.NsOp,
+			CurNs:      cur.NsOp,
+			BaseAllocs: b.AllocsOp,
+			CurAllocs:  cur.AllocsOp,
+		}
+		if b.NsOp > 0 {
+			d.NsRatio = cur.NsOp / b.NsOp
+			d.NsRegressed = d.NsRatio > 1+opts.NsTolerance
+		}
+		if b.AllocsOp > 0 {
+			d.AllocsRatio = float64(cur.AllocsOp) / float64(b.AllocsOp)
+			d.AllocsRegred = d.AllocsRatio > 1+opts.AllocsTolerance
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WriteDiff renders the comparison as a fixed-width report and returns
+// whether any cell regressed.
+func WriteDiff(w io.Writer, diffs []CellDiff) bool {
+	regressed := false
+	fmt.Fprintf(w, "%-60s %12s %12s %8s %10s %10s %8s\n",
+		"cell", "base ms", "cur ms", "Δns", "base allocs", "cur allocs", "Δallocs")
+	for _, d := range diffs {
+		mark := ""
+		if d.Regressed() {
+			mark = "  << REGRESSION"
+			regressed = true
+		}
+		fmt.Fprintf(w, "%-60s %12.2f %12.2f %+7.1f%% %10d %10d %+7.1f%%%s\n",
+			d.Name, d.BaseNs/1e6, d.CurNs/1e6, (d.NsRatio-1)*100,
+			d.BaseAllocs, d.CurAllocs, (d.AllocsRatio-1)*100, mark)
+	}
+	return regressed
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func snap(entries ...Entry) File {
+	f := NewFile()
+	f.Entries = entries
+	return f
+}
+
+// TestDiffFlagsInjectedRegression is the synthetic-regression gate check:
+// a current snapshot 30% slower (or 30% more allocation-heavy) than the
+// baseline must fail a 25% tolerance, and an identical snapshot must pass.
+func TestDiffFlagsInjectedRegression(t *testing.T) {
+	baseline := snap(
+		Entry{Name: "T2.1/x/rel/Naive/p=1", NsOp: 100e6, AllocsOp: 1000},
+		Entry{Name: "T2.1/x/rel/Delta/p=1", NsOp: 40e6, AllocsOp: 400},
+	)
+	opts := DiffOptions{NsTolerance: 0.25, AllocsTolerance: 0.25}
+
+	clean := Diff(baseline, baseline, opts)
+	if len(clean) != 2 {
+		t.Fatalf("clean diff covers %d cells, want 2", len(clean))
+	}
+	for _, d := range clean {
+		if d.Regressed() {
+			t.Fatalf("identical snapshots flagged as regression: %+v", d)
+		}
+	}
+
+	slower := snap(
+		Entry{Name: "T2.1/x/rel/Naive/p=1", NsOp: 130e6, AllocsOp: 1000},
+		Entry{Name: "T2.1/x/rel/Delta/p=1", NsOp: 40e6, AllocsOp: 400},
+	)
+	diffs := Diff(baseline, slower, opts)
+	var buf bytes.Buffer
+	if !WriteDiff(&buf, diffs) {
+		t.Fatalf("30%% ns regression passed a 25%% gate:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("report does not mark the regressed cell:\n%s", buf.String())
+	}
+
+	allocHeavy := snap(
+		Entry{Name: "T2.1/x/rel/Naive/p=1", NsOp: 100e6, AllocsOp: 1300},
+		Entry{Name: "T2.1/x/rel/Delta/p=1", NsOp: 40e6, AllocsOp: 400},
+	)
+	diffs = Diff(baseline, allocHeavy, opts)
+	if !diffs[1].AllocsRegred || diffs[1].NsRegressed {
+		t.Fatalf("allocs regression misclassified: %+v", diffs[1])
+	}
+
+	// Within tolerance: 20% worse passes a 25% gate.
+	jitter := snap(Entry{Name: "T2.1/x/rel/Naive/p=1", NsOp: 120e6, AllocsOp: 1150})
+	for _, d := range Diff(baseline, jitter, opts) {
+		if d.Regressed() {
+			t.Fatalf("within-tolerance drift flagged: %+v", d)
+		}
+	}
+}
+
+// TestDiffScopesAndSkips: the cells filter restricts the gate, and cells
+// missing from the baseline are skipped rather than failed.
+func TestDiffScopesAndSkips(t *testing.T) {
+	baseline := snap(
+		Entry{Name: "T2.1/x/rel/Naive/p=1", NsOp: 100e6, AllocsOp: 1000},
+		Entry{Name: "T2.1/x/interp/Naive/p=1", NsOp: 50e6, AllocsOp: 500},
+	)
+	current := snap(
+		Entry{Name: "T2.1/x/rel/Naive/p=1", NsOp: 100e6, AllocsOp: 1000},
+		Entry{Name: "T2.1/x/interp/Naive/p=1", NsOp: 500e6, AllocsOp: 500}, // 10× but filtered out
+		Entry{Name: "T2.9/brand-new-cell/p=1", NsOp: 1, AllocsOp: 1},       // no baseline: skipped
+	)
+	diffs := Diff(baseline, current, DiffOptions{
+		Cells: regexp.MustCompile(`/rel/`), NsTolerance: 0.25, AllocsTolerance: 0.25,
+	})
+	if len(diffs) != 1 || diffs[0].Name != "T2.1/x/rel/Naive/p=1" {
+		t.Fatalf("filter selected %+v", diffs)
+	}
+	if diffs[0].Regressed() {
+		t.Fatalf("unregressed rel cell flagged: %+v", diffs[0])
+	}
+}

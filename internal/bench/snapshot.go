@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// SnapshotSchema identifies the BENCH_<n>.json trajectory file layout.
+const SnapshotSchema = "ifpxq-bench/v1"
+
+// Entry is one measured benchmark cell in a snapshot file — the schema
+// shared by the checked-in BENCH_<n>.json trajectory files, the committed
+// CI baseline (BENCH_baseline.json), and the per-PR snapshots benchdiff
+// compares against it.
+type Entry struct {
+	Name     string  `json:"name"`
+	Phase    string  `json:"phase"` // "snapshot" here; "baseline"/"optimized" in trajectory files
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  int64   `json:"bytes_op"`
+	AllocsOp int64   `json:"allocs_op"`
+	NodesFed int64   `json:"nodes_fed"`
+	Depth    int     `json:"depth"`
+}
+
+// File is the snapshot/trajectory file layout.
+type File struct {
+	Schema    string  `json:"schema"`
+	Generated string  `json:"generated"`
+	Go        string  `json:"go"`
+	Entries   []Entry `json:"entries"`
+}
+
+// NewFile stamps an empty snapshot with schema, time, and toolchain.
+func NewFile() File {
+	return File{
+		Schema:    SnapshotSchema,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+	}
+}
+
+// WriteFile marshals a snapshot to path (indented, trailing newline, the
+// format the checked-in trajectory files use).
+func WriteFile(path string, out File) error {
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads and validates a snapshot.
+func ReadFile(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != SnapshotSchema {
+		return f, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, SnapshotSchema)
+	}
+	return f, nil
+}

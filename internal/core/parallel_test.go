@@ -7,7 +7,8 @@ import (
 	"reflect"
 	"runtime"
 	"testing"
-	"time"
+
+	"repro/internal/par/leaktest"
 
 	"repro/internal/xdm"
 )
@@ -87,7 +88,7 @@ func TestRunWithCancellation(t *testing.T) {
 			t.Fatalf("%v: got %v, want context.Canceled", alg, err)
 		}
 	}
-	waitForGoroutines(t, before)
+	leaktest.Wait(t, before)
 }
 
 // TestRunWithPayloadErrorParallel checks a mid-round payload error
@@ -113,17 +114,5 @@ func TestRunWithPayloadErrorParallel(t *testing.T) {
 			t.Fatalf("p=%d: got %v, want %v", p, err, boom)
 		}
 	}
-	waitForGoroutines(t, before)
-}
-
-func waitForGoroutines(t *testing.T, before int) {
-	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+	leaktest.Wait(t, before)
 }

@@ -42,7 +42,7 @@ var Parallelisms = []int{1, 3}
 func Generate(seed int64) Case {
 	rng := rand.New(rand.NewSource(seed))
 	c := Case{Seed: seed}
-	switch rng.Intn(5) {
+	switch rng.Intn(6) {
 	case 0: // curriculum: fn:id closures over the prerequisite graph
 		n := 15 + rng.Intn(50)
 		cfg := xmlgen.CurriculumConfig{
@@ -126,6 +126,38 @@ count(with $x seeded by $doc//person[@id = "person%d"] recurse bidder($x))`,
 count(with $x seeded by doc(%q)//SPEECH[not(preceding-sibling::SPEECH[1]/SPEAKER != SPEAKER)]
 recurse for $s in $x
         return $s/following-sibling::SPEECH[1][SPEAKER != $s/SPEAKER])`, c.URI)
+	case 4: // wide tables and empty columns through the columnar executor
+		n := 15 + rng.Intn(40)
+		cfg := xmlgen.CurriculumConfig{
+			Courses:       n,
+			MaxPrereqs:    1 + rng.Intn(3),
+			CycleFraction: 0.3 * rng.Float64(),
+			Seed:          rng.Int63(),
+		}
+		c.URI, c.XML = "curriculum.xml", xmlgen.Curriculum(cfg)
+		switch rng.Intn(3) {
+		case 0:
+			// Several live loop variables: the loop-lifted relation carries
+			// one column per variable, so the fixpoint body runs over tables
+			// far wider than iter|pos|item (the generic rowSet fallback).
+			c.Query = fmt.Sprintf(`
+for $a in (1, 2, 3), $b in (10, 20), $m in ("x", "yy")
+for $c in doc(%q)/curriculum/course
+where count(with $x seeded by $c recurse $x/id(./prerequisites/pre_code)) >= $a
+return ($a * $b, $m)`, c.URI)
+		case 1:
+			// Empty seed: zero-row (empty-column) tables flow through every
+			// operator of the µ body without ever growing.
+			c.Query = fmt.Sprintf(`
+count(with $x seeded by doc(%q)/curriculum/course[@code = "nosuchcourse"]
+recurse $x/id(./prerequisites/pre_code))`, c.URI)
+		default:
+			// Recursion that dries up immediately: non-empty seed, empty
+			// step results from round one on.
+			c.Query = fmt.Sprintf(`
+for $a in (1, 2), $c in doc(%q)/curriculum/course[@code = "c%d"]
+return $a + count(with $x seeded by $c/prerequisites recurse $x/child::nosuch)`, c.URI, rng.Intn(n))
+		}
 	default: // Regular XPath closures (distributive by construction)
 		cfg := xmlgen.HospitalConfig{
 			Patients:        30 + rng.Intn(100),

@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"repro/internal/par/leaktest"
 	"time"
 )
 
@@ -131,7 +133,7 @@ func TestRunCancellationDrains(t *testing.T) {
 			t.Fatalf("trial %d: %d fn calls still active after Run returned", trial, a)
 		}
 	}
-	waitForGoroutines(t, before)
+	leaktest.Wait(t, before)
 }
 
 // TestRunErrorDrains is the same drain guarantee for the error path.
@@ -155,7 +157,7 @@ func TestRunErrorDrains(t *testing.T) {
 			t.Fatalf("trial %d: %d fn calls still active after Run returned", trial, a)
 		}
 	}
-	waitForGoroutines(t, before)
+	leaktest.Wait(t, before)
 }
 
 func TestRunNilContextAndEmpty(t *testing.T) {
@@ -166,18 +168,4 @@ func TestRunNilContextAndEmpty(t *testing.T) {
 	if err := Run(nil, 4, 3, func(i int) error { ran++; return nil }); err != nil || ran != 3 {
 		t.Fatalf("nil ctx: err=%v ran=%d", err, ran)
 	}
-}
-
-// waitForGoroutines asserts the goroutine count returns to (near) its
-// pre-test level: pool workers must not outlive Run.
-func waitForGoroutines(t *testing.T, before int) {
-	t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 }

@@ -1,6 +1,7 @@
 package xdm
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strconv"
@@ -170,8 +171,16 @@ func FormatDouble(f float64) string {
 	return strconv.FormatFloat(f, 'g', -1, 64)
 }
 
+// ErrNotDouble is the (allocation-free) failure value of ParseDouble.
+// Hot paths parse untyped content speculatively — join-key promotion and
+// general comparisons call this per row — so failures must not build a
+// fresh *strconv.NumError each time.
+var ErrNotDouble = errors.New("xdm: not an xs:double")
+
 // ParseDouble parses an xs:double literal, accepting the XQuery spellings
-// INF, -INF and NaN.
+// INF, -INF and NaN. Strings that cannot open a float (anything not
+// starting with a digit, sign, dot, or an Inf/NaN spelling) are rejected
+// before strconv runs, so the common non-numeric probe costs no allocation.
 func ParseDouble(s string) (float64, error) {
 	switch s {
 	case "INF", "+INF":
@@ -181,7 +190,21 @@ func ParseDouble(s string) (float64, error) {
 	case "NaN":
 		return math.NaN(), nil
 	}
-	return strconv.ParseFloat(s, 64)
+	if s == "" {
+		return 0, ErrNotDouble
+	}
+	switch c := s[0]; {
+	case c >= '0' && c <= '9':
+	case c == '+' || c == '-' || c == '.':
+	case c == 'i' || c == 'I' || c == 'n' || c == 'N': // Inf/NaN spellings
+	default:
+		return 0, ErrNotDouble
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, ErrNotDouble
+	}
+	return f, nil
 }
 
 // ParseInteger parses an xs:integer literal.
