@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-store bench-parallel bench-check bench-baseline cover fmt-check fuzz vet ci clean
+.PHONY: all build test bench bench-json bench-store bench-parallel bench-opt bench-check bench-baseline cover fmt-check fuzz explain explain-update vet ci clean
 
 all: build test
 
@@ -21,17 +21,24 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
-# Coverage floor for internal/algebra — the package the columnar executor
-# lives in. The profile lands in cover.out (uploaded as a CI artifact);
-# the floor sits a few points under the current ~80% so honest refactors
-# pass but untested rewrites fail.
+# Coverage floors for internal/algebra (the columnar executor) and
+# internal/algebra/opt (the plan optimizer) — each package is profiled and
+# gated on its own, then the profiles merge into cover.out (uploaded as a
+# CI artifact). The floor sits a few points under the current levels
+# (~80% / ~95%) so honest refactors pass but untested rewrites fail.
 COVER_FLOOR ?= 75
+COVER_PKGS ?= ./internal/algebra ./internal/algebra/opt
 cover:
-	$(GO) test -coverprofile=cover.out ./internal/algebra
-	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { gsub("%", "", $$3); print $$3 }'); \
-	echo "internal/algebra coverage: $$total% (floor $(COVER_FLOOR)%)"; \
-	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f + 0) ? 1 : 0 }' || \
-		{ echo "coverage below floor"; exit 1; }
+	@rm -f cover.out; first=1; \
+	for pkg in $(COVER_PKGS); do \
+		$(GO) test -coverprofile=cover.pkg.out $$pkg || { rm -f cover.pkg.out; exit 1; }; \
+		total=$$($(GO) tool cover -func=cover.pkg.out | awk '/^total:/ { gsub("%", "", $$3); print $$3 }'); \
+		echo "$$pkg coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+		awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t + 0 < f + 0) ? 1 : 0 }' || \
+			{ echo "coverage below floor in $$pkg"; rm -f cover.pkg.out; exit 1; }; \
+		if [ $$first = 1 ]; then cp cover.pkg.out cover.out; first=0; \
+		else tail -n +2 cover.pkg.out >> cover.out; fi; \
+	done; rm -f cover.pkg.out
 
 # What CI runs (see .github/workflows/ci.yml). The -race pass covers the
 # concurrent store/xqd tests and the parallel fixpoint pools; the plain
@@ -45,11 +52,24 @@ ci:
 	$(MAKE) cover
 
 # Differential fuzzing: random documents + random fixpoint queries, every
-# engine/mode/worker-count combination must agree byte for byte. CI runs a
-# short smoke; leave FUZZTIME unset locally for an open-ended hunt.
+# engine/mode/optimizer-level/worker-count combination must agree byte for
+# byte. CI runs a short smoke; leave FUZZTIME unset locally for an
+# open-ended hunt.
 FUZZTIME ?= 60s
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDifferential -fuzztime $(FUZZTIME) ./internal/difftest
+
+# Plan-shape gate: diff the explain renderings (raw + optimized plans with
+# property annotations, operator counts) of the paper's query families
+# against the pinned goldens in internal/algebra/opt/testdata. Any rewrite
+# that changes a plan's shape fails here (and in CI, via `go test ./...`);
+# accept intended changes with `make explain-update` and review the diff.
+explain:
+	$(GO) test -run 'TestGolden' -count=1 ./internal/algebra/opt
+
+explain-update:
+	$(GO) test -run 'TestGolden' -count=1 -update ./internal/algebra/opt
+	git --no-pager diff --stat internal/algebra/opt/testdata
 
 # The Table 2 cells tracked across PRs (see EXPERIMENTS.md, BENCH_1.json).
 bench:
@@ -101,7 +121,13 @@ bench-store:
 bench-parallel:
 	@out=$(next-bench); echo "writing $$out"; $(GO) run ./cmd/ifpbench -parallel 1,2,4,8 -json $$out
 
+# Optimizer sweep (see BENCH_5.json): every cell measured with the plan
+# optimizer off and on (…/O=0 and …/O=1 entries), so what the rewrite
+# layer buys per cell stays diffable across PRs.
+bench-opt:
+	@out=$(next-bench); echo "writing $$out"; $(GO) run ./cmd/ifpbench -opt-sweep -json $$out
+
 clean:
 	rm -f ifpbench xq xqd distcheck xmlgen benchdiff *.test BENCH_snapshot*.json
-	rm -f cover.out BENCH_pr.json
+	rm -f cover.out cover.pkg.out BENCH_pr.json
 	rm -rf internal/difftest/testdata/fuzz

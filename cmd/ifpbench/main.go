@@ -18,6 +18,10 @@
 //	                           # cold- vs warm-cache query latency
 //	ifpbench -store -json BENCH_2.json
 //	ifpbench -p 4              # run with a 4-worker fixpoint pool
+//	ifpbench -O 0              # run the relational cells on verbatim plans
+//	ifpbench -opt-sweep -json BENCH_5.json
+//	                           # every cell at -O0 and -O1 (…/O=N entries):
+//	                           # what the plan-rewrite layer buys
 //	ifpbench -parallel 1,2,4,8 -json BENCH_3.json
 //	                           # worker-count sweep over the fixpoint
 //	                           # workloads: one entry per (cell, p), names
@@ -47,8 +51,15 @@ func main() {
 		storeMode = flag.Bool("store", false, "benchmark the document store open paths instead of Table 2")
 		parallel  = flag.Int("p", 1, "fixpoint worker-pool width (0 = GOMAXPROCS)")
 		sweep     = flag.String("parallel", "", "comma-separated worker counts to sweep (e.g. 1,2,4,8); writes one entry per (cell, p)")
+		optLevel  = flag.Int("O", 1, "relational plan optimizer level (0 = verbatim plan, 1 = rewrite rules on)")
+		optSweep  = flag.Bool("opt-sweep", false, "measure every cell at -O0 and -O1 (entries suffixed /O=N); requires -json")
 	)
 	flag.Parse()
+
+	if *optLevel != 0 && *optLevel != 1 {
+		fmt.Fprintf(os.Stderr, "ifpbench: unknown optimizer level -O%d (use 0 or 1)\n", *optLevel)
+		os.Exit(2)
+	}
 
 	if *storeMode {
 		if err := runStoreBench(*jsonPath); err != nil {
@@ -77,6 +88,14 @@ func main() {
 		}
 	}
 
+	if *optSweep {
+		if err := writeOptSweep(*jsonPath, exps, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "ifpbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *sweep != "" {
 		counts, err := parseCounts(*sweep)
 		if err != nil {
@@ -86,7 +105,7 @@ func main() {
 		if *expID == "" {
 			exps = sweepDefaults()
 		}
-		if err := writeParallelSweep(*jsonPath, exps, counts); err != nil {
+		if err := writeParallelSweep(*jsonPath, exps, counts, *optLevel == 0); err != nil {
 			fmt.Fprintf(os.Stderr, "ifpbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -94,14 +113,14 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, exps, *parallel); err != nil {
+		if err := writeJSON(*jsonPath, exps, *parallel, *optLevel == 0); err != nil {
 			fmt.Fprintf(os.Stderr, "ifpbench: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	runner := &bench.Runner{Parallelism: *parallel}
+	runner := &bench.Runner{Parallelism: *parallel, Opt0: *optLevel == 0}
 	var rows []*bench.Row
 	for _, e := range exps {
 		fmt.Fprintf(os.Stderr, "running %s %s…\n", e.ID, e.Name)
@@ -134,10 +153,37 @@ type (
 // cell its own testing.Benchmark run, with document generation/parsing
 // hoisted out of the timed region — and writes one entry per cell so
 // snapshots are diffable against BENCH_<n>.json trajectory entries.
-func writeJSON(path string, exps []bench.Experiment, parallelism int) error {
+func writeJSON(path string, exps []bench.Experiment, parallelism int, opt0 bool) error {
 	out := newBenchFile()
+	cfg := measureConfig{counts: []int{parallelism}, optLevels: []int{1}}
+	if opt0 {
+		// Tag the entries: a verbatim-plan snapshot must never be
+		// name-identical to (and silently diffable against) an optimized
+		// one in the BENCH_<n>.json trajectory.
+		cfg.optLevels, cfg.tagO = []int{0}, true
+	}
 	for _, e := range exps {
-		entries, err := measureExperiment(e, []int{parallelism}, false)
+		entries, err := measureExperiment(e, cfg)
+		if err != nil {
+			return err
+		}
+		out.Entries = append(out.Entries, entries...)
+	}
+	return writeBenchFile(path, out)
+}
+
+// writeOptSweep measures each cell with the plan optimizer off and on
+// (entries suffixed /O=0 and /O=1), so a snapshot records what the rewrite
+// layer buys per (experiment, engine, algorithm) cell. Interpreter cells
+// are measured once (tagged /O=1): the flag is a no-op without a plan.
+func writeOptSweep(path string, exps []bench.Experiment, parallelism int) error {
+	if path == "" {
+		return fmt.Errorf("-opt-sweep requires -json <file>")
+	}
+	out := newBenchFile()
+	cfg := measureConfig{counts: []int{parallelism}, optLevels: []int{0, 1}, tagO: true}
+	for _, e := range exps {
+		entries, err := measureExperiment(e, cfg)
 		if err != nil {
 			return err
 		}
@@ -162,13 +208,17 @@ func sweepDefaults() []bench.Experiment {
 // writeParallelSweep measures each cell once per requested worker count
 // and records the count in the entry name (…/p=N), so a snapshot holds
 // the whole scaling curve for every (experiment, engine, algorithm) cell.
-func writeParallelSweep(path string, exps []bench.Experiment, counts []int) error {
+func writeParallelSweep(path string, exps []bench.Experiment, counts []int, opt0 bool) error {
 	if path == "" {
 		return fmt.Errorf("-parallel requires -json <file>")
 	}
 	out := newBenchFile()
+	cfg := measureConfig{counts: counts, tagP: true, optLevels: []int{1}}
+	if opt0 {
+		cfg.optLevels, cfg.tagO = []int{0}, true
+	}
 	for _, e := range exps {
-		entries, err := measureExperiment(e, counts, true)
+		entries, err := measureExperiment(e, cfg)
 		if err != nil {
 			return err
 		}
@@ -177,63 +227,86 @@ func writeParallelSweep(path string, exps []bench.Experiment, counts []int) erro
 	return writeBenchFile(path, out)
 }
 
-// measureExperiment benchmarks one experiment's four cells at each worker
-// count. The document is generated and parsed once for the whole sweep;
-// only the runner's pool width changes between counts (RunCell reads it
-// at call time through the prepared experiment's runner pointer).
-func measureExperiment(e bench.Experiment, counts []int, tagP bool) ([]BenchEntry, error) {
+// measureConfig is one sweep specification: the worker counts and
+// optimizer levels to measure every cell at, and which dimensions to tag
+// into entry names.
+type measureConfig struct {
+	counts    []int
+	optLevels []int // subset of {0, 1}
+	tagP      bool
+	tagO      bool
+}
+
+// measureExperiment benchmarks one experiment's four cells at each
+// (worker count, optimizer level). The document is generated and parsed
+// once for the whole sweep; only the runner's pool width and optimizer
+// switch change between cells (RunCell reads them at call time through the
+// prepared experiment's runner pointer).
+func measureExperiment(e bench.Experiment, cfg measureConfig) ([]BenchEntry, error) {
 	var entries []BenchEntry
 	runner := &bench.Runner{}
 	prep, err := runner.Prepare(e)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", e.ID, err)
 	}
-	for _, p := range counts {
+	for _, p := range cfg.counts {
 		runner.Parallelism = p
 		for _, engine := range []string{bench.EngineInterp, bench.EngineRelational} {
 			for _, alg := range []core.Algorithm{core.Naive, core.Delta} {
-				name := fmt.Sprintf("%s/%s/%s/%s", e.ID, e.Name, engine, alg)
-				if tagP {
-					name = fmt.Sprintf("%s/p=%d", name, p)
-				}
-				fmt.Fprintf(os.Stderr, "measuring %s…\n", name)
-				// Collect between cells: an earlier cell's giant tables
-				// otherwise inflate the GC pacing target and tax every
-				// later cell — which skews exactly the cross-p comparisons
-				// a sweep exists to make.
-				runtime.GC()
-				runtime.GC()
-				var meas bench.Measurement
-				var runErr error
-				res := testing.Benchmark(func(b *testing.B) {
-					b.ReportAllocs()
-					for i := 0; i < b.N; i++ {
-						m, err := prep.RunCell(engine, alg)
-						if err != nil {
-							// b.Fatal would swallow the error into the
-							// discarded benchmark buffer and return a zero
-							// result; surface it.
-							runErr = err
-							b.FailNow()
-						}
-						meas = m
+				for _, o := range cfg.optLevels {
+					if engine == bench.EngineInterp && o == 0 && len(cfg.optLevels) > 1 {
+						continue // no plan, no optimizer: skip the duplicate cell
 					}
-				})
-				if runErr != nil {
-					return nil, fmt.Errorf("%s: %w", name, runErr)
+					runner.Opt0 = o == 0
+					name := fmt.Sprintf("%s/%s/%s/%s", e.ID, e.Name, engine, alg)
+					if tagged := o; cfg.tagO {
+						if engine == bench.EngineInterp && len(cfg.optLevels) > 1 {
+							tagged = 1 // sweep measures interp once, as the default level
+						}
+						name = fmt.Sprintf("%s/O=%d", name, tagged)
+					}
+					if cfg.tagP {
+						name = fmt.Sprintf("%s/p=%d", name, p)
+					}
+					fmt.Fprintf(os.Stderr, "measuring %s…\n", name)
+					// Collect between cells: an earlier cell's giant tables
+					// otherwise inflate the GC pacing target and tax every
+					// later cell — which skews exactly the cross-p (and
+					// cross-O) comparisons a sweep exists to make.
+					runtime.GC()
+					runtime.GC()
+					var meas bench.Measurement
+					var runErr error
+					res := testing.Benchmark(func(b *testing.B) {
+						b.ReportAllocs()
+						for i := 0; i < b.N; i++ {
+							m, err := prep.RunCell(engine, alg)
+							if err != nil {
+								// b.Fatal would swallow the error into the
+								// discarded benchmark buffer and return a zero
+								// result; surface it.
+								runErr = err
+								b.FailNow()
+							}
+							meas = m
+						}
+					})
+					if runErr != nil {
+						return nil, fmt.Errorf("%s: %w", name, runErr)
+					}
+					if res.N == 0 {
+						return nil, fmt.Errorf("%s: benchmark produced no measurement", name)
+					}
+					entries = append(entries, BenchEntry{
+						Name:     name,
+						Phase:    "snapshot",
+						NsOp:     float64(res.NsPerOp()),
+						BytesOp:  res.AllocedBytesPerOp(),
+						AllocsOp: res.AllocsPerOp(),
+						NodesFed: meas.Stats.NodesFedBack,
+						Depth:    meas.Stats.Depth,
+					})
 				}
-				if res.N == 0 {
-					return nil, fmt.Errorf("%s: benchmark produced no measurement", name)
-				}
-				entries = append(entries, BenchEntry{
-					Name:     name,
-					Phase:    "snapshot",
-					NsOp:     float64(res.NsPerOp()),
-					BytesOp:  res.AllocedBytesPerOp(),
-					AllocsOp: res.AllocsPerOp(),
-					NodesFed: meas.Stats.NodesFedBack,
-					Depth:    meas.Stats.Depth,
-				})
 			}
 		}
 	}

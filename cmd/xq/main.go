@@ -9,7 +9,7 @@
 // Usage:
 //
 //	xq -q 'count(doc("data.xml")//item)' [-dir .] [-engine interp|rel]
-//	   [-mode auto|naive|delta] [-p workers] [-explain] [-stats]
+//	   [-mode auto|naive|delta] [-p workers] [-O 0|1] [-explain] [-stats]
 //	xq -f query.xq -dir testdata
 //	xq -q '...' -store snapshots/ -mmap -store-stats
 package main
@@ -43,7 +43,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		engine     = fs.String("engine", "interp", "engine: interp (tree-at-a-time) or rel (relational)")
 		mode       = fs.String("mode", "auto", "fixpoint algorithm: auto, naive, delta")
 		parallel   = fs.Int("p", 0, "fixpoint worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
-		explain    = fs.Bool("explain", false, "print the relational plan instead of evaluating")
+		optLevel   = fs.Int("O", 1, "relational plan optimizer level: 0 = verbatim plan, 1 = rewrite rules on")
+		explain    = fs.Bool("explain", false, "print the relational plans (raw and, at -O1, optimized) instead of evaluating")
 		stats      = fs.Bool("stats", false, "print fixpoint instrumentation")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,16 +74,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fatal(err)
 	}
+	level := ifpxq.Opt1
+	switch *optLevel {
+	case 0:
+		level = ifpxq.Opt0
+	case 1:
+	default:
+		return fatal(fmt.Errorf("unknown optimizer level -O%d (use 0 or 1)", *optLevel))
+	}
 	if *explain {
-		plan, err := q.ExplainPlan()
+		// Print the plan that actually runs: the raw translation and, when
+		// the optimizer is on, the rewritten plan the executor gets.
+		ex, err := q.Explain(level)
 		if err != nil {
 			return fatal(err)
 		}
-		fmt.Fprint(stdout, plan)
+		fmt.Fprintln(stdout, "-- raw plan --")
+		fmt.Fprint(stdout, ex.Raw)
+		if ex.Optimized != "" {
+			fmt.Fprintln(stdout, "-- optimized plan (-O1, executed) --")
+			fmt.Fprint(stdout, ex.Optimized)
+		}
 		return 0
 	}
 
-	opts := ifpxq.Options{Docs: ifpxq.DocsFromDir(*dir), Parallelism: *parallel}
+	opts := ifpxq.Options{Docs: ifpxq.DocsFromDir(*dir), Parallelism: *parallel, Opt: level}
 	var st *ifpxq.Store
 	if *storeDir != "" {
 		var err error

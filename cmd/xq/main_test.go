@@ -164,11 +164,45 @@ func TestFlagErrors(t *testing.T) {
 	}
 }
 
+// TestOptLevelParity evaluates the same relational query at -O0 and -O1:
+// the optimizer must not change what the query returns.
+func TestOptLevelParity(t *testing.T) {
+	storeDir, dirDir := fixtures(t)
+	q := `for $c in doc("curriculum.xml")/curriculum/course
+	      where exists($c intersect (with $x seeded by $c recurse $x/id(./prerequisites/pre_code)))
+	      return $c/@code/string()`
+	var outs [2]string
+	for i, lvl := range []string{"0", "1"} {
+		code, out, stderr := runXQ(t, "-store", storeDir, "-dir", dirDir,
+			"-engine", "rel", "-O", lvl, "-q", q)
+		if code != 0 {
+			t.Fatalf("-O%s: exit %d stderr %q", lvl, code, stderr)
+		}
+		outs[i] = out
+	}
+	if outs[0] != outs[1] {
+		t.Fatalf("-O0 and -O1 disagree:\n-O0: %q\n-O1: %q", outs[0], outs[1])
+	}
+}
+
 func TestExplainAndFile(t *testing.T) {
 	_, dirDir := fixtures(t)
 	code, out, stderr := runXQ(t, "-explain", "-q", `count(doc("fallback.xml")//b)`)
 	if code != 0 || out == "" {
 		t.Fatalf("-explain: exit %d out %q stderr %q", code, out, stderr)
+	}
+	// -explain must show the plan that actually runs: raw AND optimized.
+	for _, want := range []string{"-- raw plan --", "-- optimized plan (-O1, executed) --"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-explain output misses %q:\n%s", want, out)
+		}
+	}
+	if code, out0, _ := runXQ(t, "-explain", "-O", "0", "-q", `count(doc("fallback.xml")//b)`); code != 0 ||
+		!strings.Contains(out0, "-- raw plan --") || strings.Contains(out0, "optimized plan") {
+		t.Errorf("-O0 -explain should print only the raw plan:\n%s", out0)
+	}
+	if code, _, stderr := runXQ(t, "-O", "3", "-q", "1"); code != 1 || !strings.Contains(stderr, "-O3") {
+		t.Errorf("bad -O level: exit %d stderr %q", code, stderr)
 	}
 	qf := filepath.Join(dirDir, "q.xq")
 	if err := os.WriteFile(qf, []byte(`count(doc("fallback.xml")//b)`), 0o644); err != nil {

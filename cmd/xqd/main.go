@@ -7,11 +7,11 @@
 //
 // Usage:
 //
-//	xqd -store snapshots/ [-addr :8090] [-mmap] [-cache-bytes N] [-cache-docs N] [-p workers]
+//	xqd -store snapshots/ [-addr :8090] [-mmap] [-cache-bytes N] [-cache-docs N] [-p workers] [-O 0|1]
 //
 // Endpoints:
 //
-//	GET/POST /query?q=…&engine=interp|rel&mode=auto|naive|delta&p=N
+//	GET/POST /query?q=…&engine=interp|rel&mode=auto|naive|delta&p=N&opt=0|1
 //	    evaluates q (POST bodies carry the query text when q is absent)
 //	    and returns JSON including elapsed_us and doc_wait_us — the part
 //	    of the latency spent resolving documents, 0 on a warm cache.
@@ -47,11 +47,16 @@ func main() {
 		cacheDocs  = flag.Int("cache-docs", 0, "document cache entry budget (0 = unbounded)")
 		noParse    = flag.Bool("no-parse", false, "serve snapshots only, never parse XML")
 		parallel   = flag.Int("p", 1, "default fixpoint worker-pool width per query (0 = GOMAXPROCS)")
+		optLevel   = flag.Int("O", 1, "default relational plan optimizer level (0 = verbatim plan)")
 	)
 	flag.Parse()
 	if *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "xqd: -store is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *optLevel != 0 && *optLevel != 1 {
+		fmt.Fprintf(os.Stderr, "xqd: unknown optimizer level -O%d (use 0 or 1)\n", *optLevel)
 		os.Exit(2)
 	}
 	st, err := ifpxq.OpenStore(ifpxq.StoreOptions{
@@ -65,7 +70,8 @@ func main() {
 	}
 	srv := newServer(st)
 	srv.parallelism = *parallel
-	log.Printf("xqd: serving store %s on %s (mmap=%v, p=%d)", *storeDir, *addr, *mmap, *parallel)
+	srv.opt0 = *optLevel == 0
+	log.Printf("xqd: serving store %s on %s (mmap=%v, p=%d, O=%d)", *storeDir, *addr, *mmap, *parallel, *optLevel)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }
 
@@ -78,9 +84,12 @@ type server struct {
 	// requests override it with ?p=. The server already parallelizes
 	// across requests, so the default keeps each query sequential.
 	parallelism int
-	started     time.Time
-	queries     atomic.Int64
-	mux         *http.ServeMux
+	// opt0 disables the relational plan optimizer by default; requests
+	// override per query with ?opt=0|1.
+	opt0    bool
+	started time.Time
+	queries atomic.Int64
+	mux     *http.ServeMux
 }
 
 func newServer(st *store.Store) *server {
@@ -139,6 +148,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// cancels its fixpoint rounds and drains the worker pool instead of
 	// computing an answer nobody reads.
 	opts := ifpxq.Options{Parallelism: s.parallelism, Context: r.Context()}
+	if s.opt0 {
+		opts.Opt = ifpxq.Opt0
+	}
 	if pv := r.URL.Query().Get("p"); pv != "" {
 		p, err := strconv.Atoi(pv)
 		if err != nil {
@@ -146,6 +158,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts.Parallelism = p
+	}
+	switch r.URL.Query().Get("opt") {
+	case "":
+	case "0":
+		opts.Opt = ifpxq.Opt0
+	case "1":
+		opts.Opt = ifpxq.Opt1
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad optimizer level %q (use 0 or 1)", r.URL.Query().Get("opt")))
+		return
 	}
 	switch r.URL.Query().Get("engine") {
 	case "", "interp", "interpreter":

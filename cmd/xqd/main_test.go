@@ -16,7 +16,7 @@ import (
 	"repro/internal/xmlgen"
 )
 
-func testServer(t *testing.T, opts store.Options) (*server, *httptest.Server) {
+func testServer(t *testing.T, opts store.Options, configure ...func(*server)) (*server, *httptest.Server) {
 	t.Helper()
 	dir := t.TempDir()
 	doc, err := xmldoc.ParseString(xmlgen.Curriculum(xmlgen.CurriculumSized(40)), "curriculum.xml")
@@ -32,6 +32,11 @@ func testServer(t *testing.T, opts store.Options) (*server, *httptest.Server) {
 		t.Fatal(err)
 	}
 	srv := newServer(st)
+	// Configuration runs before the listener exists: handler goroutines
+	// only ever read fields like opt0, never race a test-side write.
+	for _, c := range configure {
+		c(srv)
+	}
 	hs := httptest.NewServer(srv)
 	t.Cleanup(hs.Close)
 	return srv, hs
@@ -87,6 +92,44 @@ func TestQueryEndpoint(t *testing.T) {
 	}
 	if len(stats.Docs) != 1 || stats.Docs[0].Stats.Nodes == 0 {
 		t.Fatalf("docs stats missing: %+v", stats.Docs)
+	}
+}
+
+// TestOptLevels checks the per-request optimizer switch: ?opt=0 runs the
+// verbatim plan, ?opt=1 the rewritten one, and both answers (plus the
+// fixpoint instrumentation) must agree byte for byte; a bad level is a 400.
+func TestOptLevels(t *testing.T) {
+	_, hs := testServer(t, store.Options{})
+	q := url.QueryEscape(fixpointQuery)
+	var o0, o1, def queryResponse
+	if code := getJSON(t, hs.URL+"/query?engine=rel&opt=0&q="+q, &o0); code != http.StatusOK {
+		t.Fatalf("opt=0 status %d", code)
+	}
+	if code := getJSON(t, hs.URL+"/query?engine=rel&opt=1&q="+q, &o1); code != http.StatusOK {
+		t.Fatalf("opt=1 status %d", code)
+	}
+	if code := getJSON(t, hs.URL+"/query?engine=rel&q="+q, &def); code != http.StatusOK {
+		t.Fatalf("default status %d", code)
+	}
+	if o0.Result != o1.Result || def.Result != o1.Result {
+		t.Fatalf("optimizer levels disagree: opt=0 %q opt=1 %q default %q", o0.Result, o1.Result, def.Result)
+	}
+	if fmt.Sprint(o0.Fixpoints) != fmt.Sprint(o1.Fixpoints) {
+		t.Fatalf("fixpoint stats diverge across optimizer levels:\n opt=0 %+v\n opt=1 %+v", o0.Fixpoints, o1.Fixpoints)
+	}
+	var e errorResponse
+	if code := getJSON(t, hs.URL+"/query?opt=2&q="+q, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad opt level: status %d (%+v)", code, e)
+	}
+
+	// A server started with -O 0 defaults requests to the verbatim plan.
+	_, hs0 := testServer(t, store.Options{}, func(s *server) { s.opt0 = true })
+	var served queryResponse
+	if code := getJSON(t, hs0.URL+"/query?engine=rel&q="+q, &served); code != http.StatusOK {
+		t.Fatalf("-O0 server status %d", code)
+	}
+	if served.Result != o0.Result {
+		t.Fatalf("-O0 server default diverges: %q vs %q", served.Result, o0.Result)
 	}
 }
 

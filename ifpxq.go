@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/algebra"
+	"repro/internal/algebra/opt"
 	"repro/internal/core"
 	"repro/internal/regularxpath"
 	"repro/internal/store"
@@ -40,6 +41,22 @@ type Engine uint8
 const (
 	EngineInterpreter Engine = iota
 	EngineRelational
+)
+
+// OptLevel selects how the relational plan optimizer runs. The zero value
+// is "on": every evaluation gets the property-driven rewrite pass unless
+// the caller explicitly asks for the compiler's verbatim plan.
+type OptLevel uint8
+
+// Optimizer levels.
+const (
+	// OptDefault is Opt1: the optimizer is on by default.
+	OptDefault OptLevel = iota
+	// Opt0 executes the verbatim loop-lifting translation (-O0).
+	Opt0
+	// Opt1 runs property inference + the rewrite rule engine + sub-plan
+	// hash-consing between compilation and execution (-O1).
+	Opt1
 )
 
 // Mode selects the fixpoint algorithm.
@@ -113,7 +130,13 @@ type Options struct {
 	// StrictAlgebraicCheck uses Table 1's exact push rules in the
 	// relational engine's auto decision (default false = extended rules).
 	StrictAlgebraicCheck bool
-	Docs                 DocResolver
+	// Opt selects the relational plan optimizer level (default on; Opt0
+	// runs the compiler's verbatim plan). The optimizer is semantics-
+	// preserving: results and fixpoint statistics are byte-identical at
+	// every level (guarded by internal/difftest). The interpreter engine
+	// has no plan stage, so the level is a no-op there.
+	Opt  OptLevel
+	Docs DocResolver
 	// Store, when set, resolves fn:doc through the persistent document
 	// store's cache: every document the evaluation touches is pinned in
 	// the cache (stable node identity, no eviction mid-query) until the
@@ -239,13 +262,51 @@ func (q *Query) Distributivity() []FixpointReport {
 	return reports
 }
 
-// ExplainPlan renders the relational plan of the query.
+// ExplainPlan renders the raw (pre-optimization) relational plan of the
+// query; Explain returns both the raw and the optimized plan.
 func (q *Query) ExplainPlan() (string, error) {
 	plan, err := algebra.CompileModule(q.module)
 	if err != nil {
 		return "", err
 	}
 	return algebra.Explain(plan.Root), nil
+}
+
+// PlanExplanation carries the raw and optimized renderings of a query's
+// relational plan, each annotated with the optimizer's inferred properties
+// (live columns, key sets, node-only columns, loop dependence), plus the
+// per-plan operator multiset for before/after comparisons.
+type PlanExplanation struct {
+	Raw          string
+	Optimized    string
+	RawOps       map[string]int
+	OptimizedOps map[string]int
+}
+
+// Explain compiles the query and renders the raw plan next to the plan the
+// relational engine actually executes at the given optimizer level. At Opt0
+// the optimized rendering is empty: the raw plan is what runs.
+func (q *Query) Explain(level OptLevel) (*PlanExplanation, error) {
+	plan, err := algebra.CompileModule(q.module)
+	if err != nil {
+		return nil, err
+	}
+	// Mirror the engine's default auto decision (extended rules) so the
+	// rendering shows µ vs µ∆ the way evaluation would run them.
+	for _, site := range plan.Mus {
+		site.Mu.Delta = site.DistributiveExt
+	}
+	out := &PlanExplanation{
+		Raw:    algebra.ExplainWith(plan.Root, opt.Annotate(plan.Root)),
+		RawOps: algebra.Operators(plan.Root),
+	}
+	if level == Opt0 {
+		return out, nil
+	}
+	opt.Optimize(plan)
+	out.Optimized = algebra.ExplainWith(plan.Root, opt.Annotate(plan.Root))
+	out.OptimizedOps = algebra.Operators(plan.Root)
+	return out, nil
 }
 
 // FixpointStats instruments one fixpoint site's execution.
@@ -290,10 +351,15 @@ func (q *Query) Eval(opts Options) (*Result, error) {
 		case ModeDelta:
 			mode = algebra.ModeDelta
 		}
+		var optimize func(*algebra.Plan)
+		if opts.Opt != Opt0 {
+			optimize = opt.Optimize
+		}
 		en, err := algebra.NewEngine(q.module, algebra.Options{
 			Mode: mode, MaxIterations: opts.MaxIterations,
 			Strict: opts.StrictAlgebraicCheck, Docs: docs,
 			Parallelism: opts.Parallelism, Context: opts.Context,
+			Optimize: optimize,
 		})
 		if err != nil {
 			return nil, err

@@ -97,6 +97,49 @@ func TestExplainPlan(t *testing.T) {
 	}
 }
 
+func TestExplainRawAndOptimized(t *testing.T) {
+	q := MustParse(q1)
+	ex, err := q.Explain(OptDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Raw == "" || ex.Optimized == "" {
+		t.Fatalf("Explain should render both plans, got raw=%d optimized=%d bytes",
+			len(ex.Raw), len(ex.Optimized))
+	}
+	total := func(ops map[string]int) int {
+		n := 0
+		for _, c := range ops {
+			n += c
+		}
+		return n
+	}
+	if total(ex.OptimizedOps) >= total(ex.RawOps) {
+		t.Errorf("optimizer did not shrink the plan: raw %d ops, optimized %d ops",
+			total(ex.RawOps), total(ex.OptimizedOps))
+	}
+	at0, err := q.Explain(Opt0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at0.Optimized != "" || at0.OptimizedOps != nil {
+		t.Errorf("Opt0 explain should carry no optimized plan")
+	}
+
+	// The optimizer must not change what the query returns.
+	r0, err := q.Eval(Options{Engine: EngineRelational, Docs: docs(), Opt: Opt0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := q.Eval(Options{Engine: EngineRelational, Docs: docs(), Opt: Opt1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.String() != r1.String() {
+		t.Errorf("Opt0 %q vs Opt1 %q", r0.String(), r1.String())
+	}
+}
+
 func TestRegularXPathEntryPoint(t *testing.T) {
 	q, err := ParseRegularXPath(`(curriculum/course)+`)
 	if err != nil {

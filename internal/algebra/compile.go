@@ -23,8 +23,19 @@ func unsupported(format string, args ...any) error {
 // Plan is a compiled module: the root operator plus every µ site in
 // evaluation order, each carrying its algebraic distributivity verdict.
 type Plan struct {
+	// Root is the plan the executor runs. CompileModule emits the verbatim
+	// loop-lifting translation; an optimizer pass (see Options.Optimize and
+	// internal/algebra/opt) may replace it with a rewritten DAG.
 	Root *Node
-	Mus  []*MuSite
+	// Raw is the pre-optimization root, kept for explain output and
+	// raw-vs-optimized diagnostics. Root == Raw until an optimizer runs.
+	Raw *Node
+	Mus []*MuSite
+	// LoopDeps, when set by an optimizer pass, marks every node of the
+	// optimized DAG whose subtree reaches an OpRecBase leaf (the
+	// loop-dependence property). The executor's fixpoint driver consumes it
+	// instead of re-walking each µ body per execution.
+	LoopDeps map[*Node]bool
 }
 
 // MuSite describes one compiled fixpoint.
@@ -57,7 +68,7 @@ func CompileModule(m *ast.Module) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Root: root, Mus: c.mus}, nil
+	return &Plan{Root: root, Raw: root, Mus: c.mus}, nil
 }
 
 // CompileExpr compiles a single expression (tests, Regular XPath).

@@ -35,6 +35,12 @@ type Options struct {
 	Parallelism int
 	// Context, when non-nil, cancels execution between and within rounds.
 	Context context.Context
+	// Optimize, when non-nil, rewrites the compiled plan between
+	// compilation and execution (callers pass opt.Optimize from
+	// internal/algebra/opt; nil executes the compiler's verbatim plan).
+	// It runs after the per-site µ/µ∆ decision, so rewrites see the final
+	// Delta flags and the distributivity check always judges the raw plan.
+	Optimize func(*Plan)
 }
 
 // Engine evaluates a module through the relational pipeline: loop-lifting
@@ -66,6 +72,9 @@ func NewEngine(m *ast.Module, opts Options) (*Engine, error) {
 			}
 		}
 	}
+	if opts.Optimize != nil {
+		opts.Optimize(plan)
+	}
 	return &Engine{plan: plan, opts: opts}, nil
 }
 
@@ -78,6 +87,7 @@ func (e *Engine) Eval() (xdm.Sequence, []MuRun, error) {
 	ctx := &ExecContext{
 		Docs: e.opts.Docs, MaxIterations: e.opts.MaxIterations,
 		Parallelism: e.opts.Parallelism, Ctx: e.opts.Context,
+		LoopDeps: e.plan.LoopDeps,
 	}
 	t, err := Eval(e.plan.Root, ctx)
 	if err != nil {

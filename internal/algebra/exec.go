@@ -124,10 +124,17 @@ type ExecContext struct {
 	// inside the sharded operators; the pool always drains before the
 	// context's error is returned.
 	Ctx context.Context
+	// LoopDeps, when set (Plan.LoopDeps, filled by the optimizer), is the
+	// precomputed loop-dependence property: the nodes whose subtree reaches
+	// an OpRecBase leaf. The fixpoint driver scopes it to each µ body
+	// instead of re-deriving the property with its own walk; nil (-O0)
+	// falls back to recDependents.
+	LoopDeps map[*Node]bool
 
 	memo      map[*Node]*Table
 	binding   map[*Node]*Table // OpRecBase → current feed
 	muAgg     map[*Node]*MuRun
+	muDeps    map[*Node]map[*Node]bool // µ node → rec-dependent body nodes
 	docs      map[string]*xdm.Document
 	stepCache map[stepCacheKey][]xdm.NodeRef
 	stepMu    sync.Mutex // guards stepCache when step joins shard
@@ -169,6 +176,7 @@ func (ctx *ExecContext) init() {
 		ctx.memo = map[*Node]*Table{}
 		ctx.binding = map[*Node]*Table{}
 		ctx.muAgg = map[*Node]*MuRun{}
+		ctx.muDeps = map[*Node]map[*Node]bool{}
 		ctx.docs = map[string]*xdm.Document{}
 		ctx.stepCache = map[stepCacheKey][]xdm.NodeRef{}
 	}

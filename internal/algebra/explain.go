@@ -9,7 +9,13 @@ import (
 // Explain renders a plan DAG as an indented operator tree, marking shared
 // sub-plans. The rendering is stable and used by golden tests that mirror
 // the paper's Figure 9.
-func Explain(root *Node) string {
+func Explain(root *Node) string { return ExplainWith(root, nil) }
+
+// ExplainWith is Explain with a per-node annotation hook: a non-empty
+// string is appended to the node's line in braces. The optimizer's property
+// inference supplies annotations (live columns, keys, loop dependence)
+// without this package importing it.
+func ExplainWith(root *Node, annotate func(*Node) string) string {
 	var sb strings.Builder
 	shared := sharedNodes(root)
 	ids := map[*Node]int{}
@@ -25,6 +31,11 @@ func Explain(root *Node) string {
 			fmt.Fprintf(&sb, "#%d ", ids[n])
 		}
 		sb.WriteString(describe(n))
+		if annotate != nil {
+			if ann := annotate(n); ann != "" {
+				sb.WriteString(" {" + ann + "}")
+			}
+		}
 		sb.WriteByte('\n')
 		for _, k := range n.Kids {
 			walk(k, depth+1)

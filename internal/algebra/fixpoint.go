@@ -40,7 +40,7 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 	if maxIter <= 0 {
 		maxIter = core.DefaultMaxIterations
 	}
-	deps := recDependents(n.Kids[1])
+	deps := ctx.bodyDeps(n)
 	workers := ctx.workers()
 	body := func(feed *iterSets) (*iterSets, error) {
 		if err := ctx.cancelled(); err != nil {
@@ -114,10 +114,45 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 	return res.table(), nil
 }
 
-// recDependents collects the sub-plan nodes reachable from root that
-// contain an OpRecBase; these must be re-evaluated on every fixpoint round
-// while everything else stays hoisted in the memo cache.
-func recDependents(root *Node) map[*Node]bool {
+// bodyDeps returns the µ body's rec-dependent node set — the nodes whose
+// memo entries must drop every round while everything else stays hoisted —
+// cached per µ site across re-executions. When the optimizer annotated the
+// plan (ctx.LoopDeps), the set is read off the precomputed loop-dependence
+// property: the walk prunes at the first property-false node (nothing below
+// it can reach a recursion base). Unoptimized plans (-O0) fall back to the
+// self-contained recDependents derivation.
+func (ctx *ExecContext) bodyDeps(mu *Node) map[*Node]bool {
+	if d, ok := ctx.muDeps[mu]; ok {
+		return d
+	}
+	var d map[*Node]bool
+	if ctx.LoopDeps != nil {
+		d = map[*Node]bool{}
+		var walk func(n *Node)
+		walk = func(n *Node) {
+			if !ctx.LoopDeps[n] || d[n] {
+				return
+			}
+			d[n] = true
+			for _, k := range n.Kids {
+				walk(k)
+			}
+		}
+		walk(mu.Kids[1])
+	} else {
+		d = RecDependents(mu.Kids[1])
+	}
+	ctx.muDeps[mu] = d
+	return d
+}
+
+// RecDependents collects the sub-plan nodes reachable from root that
+// contain an OpRecBase (the loop-dependence property); these must be
+// re-evaluated on every fixpoint round while everything else stays hoisted
+// in the memo cache. Exported so the plan optimizer publishes exactly this
+// derivation as Plan.LoopDeps — the -O0 fallback above and the -O1
+// property can never desynchronize.
+func RecDependents(root *Node) map[*Node]bool {
 	memo := map[*Node]bool{}
 	var walk func(n *Node) bool
 	walk = func(n *Node) bool {

@@ -1,0 +1,109 @@
+package opt_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/algebra/opt"
+	"repro/internal/bench"
+	"repro/internal/xq/parser"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden explain files")
+
+// goldenQueries are the paper's four query families (Section 5). Their
+// pinned renderings cover the operator summary, DAG sharing markers
+// (#n/^n), the optimizer's property annotations, and the raw-vs-optimized
+// operator counts — any plan-shape regression diffs against these files
+// (`make explain`; regenerate deliberately with `go test -run
+// TestGoldenExplain -update ./internal/algebra/opt`).
+var goldenQueries = []struct {
+	name  string
+	query string
+}{
+	{"bidder", bench.BidderNetworkQuery},
+	{"dialogs", bench.DialogsQuery},
+	{"curriculum", bench.CurriculumQuery},
+	{"hospital", bench.HospitalQuery},
+}
+
+// renderGolden produces the full explain artifact for one query: raw and
+// optimized plans with property annotations plus both operator summaries.
+func renderGolden(t *testing.T, query string) string {
+	t.Helper()
+	m, err := parser.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := algebra.CompileModule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirror the engine's default auto decision so µ∆ renders as it runs.
+	for _, site := range plan.Mus {
+		site.Mu.Delta = site.DistributiveExt
+	}
+	var sb strings.Builder
+	sb.WriteString("-- raw plan --\n")
+	sb.WriteString(algebra.ExplainWith(plan.Root, opt.Annotate(plan.Root)))
+	rawOps := algebra.OperatorSummary(plan.Root)
+	rawCount := countOps(plan.Root)
+	opt.Optimize(plan)
+	sb.WriteString("-- optimized plan --\n")
+	sb.WriteString(algebra.ExplainWith(plan.Root, opt.Annotate(plan.Root)))
+	fmt.Fprintf(&sb, "-- operators: raw=%d optimized=%d --\n", rawCount, countOps(plan.Root))
+	sb.WriteString("raw: " + rawOps + "\n")
+	sb.WriteString("optimized: " + algebra.OperatorSummary(plan.Root) + "\n")
+	return sb.String()
+}
+
+func countOps(root *algebra.Node) int {
+	total := 0
+	for _, c := range algebra.Operators(root) {
+		total += c
+	}
+	return total
+}
+
+func TestGoldenExplain(t *testing.T) {
+	for _, g := range goldenQueries {
+		t.Run(g.name, func(t *testing.T) {
+			got := renderGolden(t, g.query)
+			path := filepath.Join("testdata", g.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("plan shape changed for %s (run `make explain` to inspect, `go test -run TestGoldenExplain -update ./internal/algebra/opt` to accept):\n--- got ---\n%s\n--- want ---\n%s",
+					g.name, got, string(want))
+			}
+		})
+	}
+}
+
+// TestGoldenCoversMarkers pins that the golden artifacts actually exercise
+// what they exist to guard: sharing markers, annotations, µ∆ rendering,
+// and a strictly shrinking operator count.
+func TestGoldenCoversMarkers(t *testing.T) {
+	out := renderGolden(t, bench.BidderNetworkQuery)
+	for _, want := range []string{"#1 ", "^1", "key=", "rec", "mu"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bidder golden misses %q", want)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/algebra"
+	"repro/internal/algebra/opt"
 	"repro/internal/core"
 	"repro/internal/xdm"
 	"repro/internal/xmldoc"
@@ -138,6 +139,9 @@ type Runner struct {
 	// Parallelism is the fixpoint worker-pool width passed to both
 	// engines (0 = GOMAXPROCS, 1 = sequential).
 	Parallelism int
+	// Opt0 runs the relational engine on the compiler's verbatim plan
+	// (-O0); the default is the optimized plan, matching production.
+	Opt0 bool
 }
 
 // docResolverFor parses the experiment's document once and serves it for
@@ -244,8 +248,13 @@ func (r *Runner) runRelational(m *ast.Module, alg core.Algorithm, docs func(stri
 	if alg == core.Delta {
 		mode = algebra.ModeDelta
 	}
+	var optimize func(*algebra.Plan)
+	if !r.Opt0 {
+		optimize = opt.Optimize
+	}
 	en, err := algebra.NewEngine(m, algebra.Options{
 		Mode: mode, Docs: docs, MaxIterations: r.MaxIterations, Parallelism: r.Parallelism,
+		Optimize: optimize,
 	})
 	if err != nil {
 		return Measurement{}, err

@@ -2,10 +2,11 @@
 // engines: from one integer seed it derives a random document (through
 // internal/xmlgen) and a random fixpoint or Regular XPath query, then
 // checks that every evaluation strategy the repository offers — Naïve vs
-// Delta (the paper's Figure 3 pair), tree-at-a-time vs relational, and
-// sequential vs parallel rounds — produces byte-identical results and,
-// within one engine and mode, identical instrumentation at every worker
-// count. Calvanese et al.'s observation that fixpoint semantics admit many
+// Delta (the paper's Figure 3 pair), tree-at-a-time vs relational,
+// sequential vs parallel rounds, and verbatim (-O0) vs optimized (-O1)
+// relational plans — produces byte-identical results and, within one
+// engine and mode, identical instrumentation at every worker count and
+// optimizer level. Calvanese et al.'s observation that fixpoint semantics admit many
 // equivalent evaluation strategies is exactly what makes this harness
 // decisive: any divergence is a bug in some engine, never in the query.
 package difftest
@@ -35,6 +36,15 @@ type Case struct {
 // Parallelisms are the worker-pool widths every case is evaluated at; the
 // first must be 1 (the sequential baseline).
 var Parallelisms = []int{1, 3}
+
+// OptLevels are the relational plan-optimizer levels every case is
+// evaluated at; the first must be the optimized default (the baseline
+// configuration). The interpreter engine has no plan stage — the flag is a
+// no-op there — so only the relational engine multiplies by this
+// dimension; the -O0/-O1 parity the optimizer promises (byte-identical
+// results AND identical fixpoint statistics) is checked per (mode, worker
+// count) against the shared baseline.
+var OptLevels = []ifpxq.OptLevel{ifpxq.Opt1, ifpxq.Opt0}
 
 // Generate derives a case from a seed. Documents are kept small — tens to
 // a few hundred nodes — so thousands of cases stay cheap; the engines'
@@ -178,6 +188,15 @@ return $a + count(with $x seeded by $c/prerequisites recurse $x/child::nosuch)`,
 	return c
 }
 
+// optName renders an OptLevel the way the CLIs spell it (-O0/-O1), so a
+// reported divergence names the flag that reproduces it.
+func optName(l ifpxq.OptLevel) string {
+	if l == ifpxq.Opt0 {
+		return "0"
+	}
+	return "1"
+}
+
 // outcome is one evaluation's observable behaviour.
 type outcome struct {
 	result    string
@@ -185,12 +204,12 @@ type outcome struct {
 	fixpoints []ifpxq.FixpointStats
 }
 
-// Check evaluates the case under every (engine, mode, parallelism)
-// configuration and fails the test on any divergence:
+// Check evaluates the case under every (engine, mode, optimizer level,
+// parallelism) configuration and fails the test on any divergence:
 //
 //   - within one (engine, mode): results AND fixpoint stats must be
-//     identical at every worker count, and an error must be the same error
-//     at every worker count;
+//     identical at every worker count and every optimizer level, and an
+//     error must be the same error in every configuration;
 //   - across engines and modes: every configuration that succeeds must
 //     yield the byte-identical result string.
 func Check(t testing.TB, c Case) {
@@ -221,35 +240,42 @@ func Check(t testing.TB, c Case) {
 	haveAgreed := false
 	for _, engine := range engines {
 		for _, mode := range []ifpxq.Mode{ifpxq.ModeNaive, ifpxq.ModeAuto} {
+			optLevels := OptLevels
+			if engine == ifpxq.EngineInterpreter {
+				optLevels = OptLevels[:1] // no plan stage: -O is a no-op
+			}
 			var base outcome
-			for pi, p := range Parallelisms {
-				opts := ifpxq.Options{Engine: engine, Mode: mode, Docs: docs, Parallelism: p}
-				if c.RegularXPath {
-					opts.ContextItem = &root
-				}
-				res, err := q.Eval(opts)
-				var got outcome
-				if err != nil {
-					got.err = err.Error()
-				} else {
-					got.result = res.String()
-					got.fixpoints = res.Fixpoints
-				}
-				if pi == 0 {
-					base = got
-					continue
-				}
-				if got.err != base.err {
-					t.Errorf("seed %d engine=%v mode=%v: error diverges with workers: p=1 %q vs p=%d %q",
-						c.Seed, engine, mode, base.err, p, got.err)
-				}
-				if got.result != base.result {
-					t.Errorf("seed %d engine=%v mode=%v: result diverges with workers (p=%d)",
-						c.Seed, engine, mode, p)
-				}
-				if !reflect.DeepEqual(got.fixpoints, base.fixpoints) {
-					t.Errorf("seed %d engine=%v mode=%v: fixpoint stats diverge with workers (p=%d):\n p=1: %+v\n p=%d: %+v",
-						c.Seed, engine, mode, p, base.fixpoints, p, got.fixpoints)
+			first := true
+			for _, opt := range optLevels {
+				for _, p := range Parallelisms {
+					opts := ifpxq.Options{Engine: engine, Mode: mode, Docs: docs, Parallelism: p, Opt: opt}
+					if c.RegularXPath {
+						opts.ContextItem = &root
+					}
+					res, err := q.Eval(opts)
+					var got outcome
+					if err != nil {
+						got.err = err.Error()
+					} else {
+						got.result = res.String()
+						got.fixpoints = res.Fixpoints
+					}
+					if first {
+						base, first = got, false
+						continue
+					}
+					if got.err != base.err {
+						t.Errorf("seed %d engine=%v mode=%v: error diverges (-O%s p=%d): %q vs baseline %q",
+							c.Seed, engine, mode, optName(opt), p, got.err, base.err)
+					}
+					if got.result != base.result {
+						t.Errorf("seed %d engine=%v mode=%v: result diverges from baseline (-O%s p=%d)",
+							c.Seed, engine, mode, optName(opt), p)
+					}
+					if !reflect.DeepEqual(got.fixpoints, base.fixpoints) {
+						t.Errorf("seed %d engine=%v mode=%v: fixpoint stats diverge (-O%s p=%d):\n base: %+v\n got: %+v",
+							c.Seed, engine, mode, optName(opt), p, base.fixpoints, got.fixpoints)
+					}
 				}
 			}
 			if base.err != "" {
