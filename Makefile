@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-store bench-parallel bench-opt bench-check bench-baseline cover fmt-check fuzz explain explain-update vet ci clean
+.PHONY: all build test bench bench-json bench-store bench-parallel bench-opt bench-check bench-baseline cover fmt-check fuzz explain explain-update vet ci clean loadsmoke
 
 all: build test
 
@@ -40,16 +40,26 @@ cover:
 		else tail -n +2 cover.pkg.out >> cover.out; fi; \
 	done; rm -f cover.pkg.out
 
+# Overload smoke: a 5-second open-loop xqload burst (150 req/s, mixed
+# query classes including a non-converging recursion) against an
+# in-process xqd configured with a deliberately tiny capacity. Gates the
+# degradation contract: zero 5xx, overflow shed as 429 + Retry-After,
+# nonzero goodput, and a p99 bounded by the queue + query deadlines.
+loadsmoke:
+	$(GO) test -race -run TestLoadSmoke -count=1 -v ./cmd/xqd
+
 # What CI runs (see .github/workflows/ci.yml). The -race pass covers the
 # concurrent store/xqd tests and the parallel fixpoint pools; the plain
 # pass runs the differential-harness seed block (internal/difftest); the
-# coverage step enforces the internal/algebra floor.
+# coverage step enforces the internal/algebra floor; loadsmoke gates the
+# overload/degradation contract.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz FUZZTIME=10s
 	$(MAKE) cover
+	$(MAKE) loadsmoke
 
 # Differential fuzzing: random documents + random fixpoint queries, every
 # engine/mode/optimizer-level/worker-count combination must agree byte for

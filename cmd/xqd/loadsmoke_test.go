@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/store"
+	"repro/internal/xqload"
+)
+
+// TestLoadSmoke is the overload acceptance gate (`make loadsmoke`): an
+// open-loop burst far past a deliberately tiny capacity, against the real
+// handler stack in process. The server must degrade, not fail:
+//
+//   - zero 5xx — overload surfaces as 429s and budget 422s, never errors;
+//   - some 429s, each carrying Retry-After — admission actually sheds;
+//   - some 200s — shedding protects goodput instead of replacing it;
+//   - bounded p99 over the successes — queue + query deadlines hold the
+//     tail even while a pathological query class burns its budget.
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load smoke is a multi-second burst; skipped with -short")
+	}
+	srv, hs := testServer(t, store.Options{}, func(s *server) {
+		s.queryTimeout = 300 * time.Millisecond
+		s.ctrl = admission.New(admission.Options{
+			Capacity:     2,
+			QueueLimit:   2,
+			QueueTimeout: 100 * time.Millisecond,
+		})
+	})
+
+	report, err := xqload.Run(context.Background(), xqload.Options{
+		BaseURL:  hs.URL,
+		Rate:     150,
+		Duration: 5 * time.Second,
+		Client:   &http.Client{Timeout: 10 * time.Second},
+		Classes: []xqload.Class{
+			{Name: "scan", Query: `count(doc("curriculum.xml")//*)`, Weight: 5},
+			{Name: "fixpoint", Query: fixpointQuery, Weight: 2},
+			{Name: "runaway", Query: runawayQuery, Extra: "timeout_ms=200", Weight: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("loadsmoke: sent=%d ok=%d goodput=%.1f/s shed=%d (retry-after %d) truncated=%d rejected=%d 5xx=%d timeout=%d transport=%d p99=%.1fms",
+		report.Sent, report.OK, report.GoodputQPS, report.Shed, report.RetryAfter,
+		report.Truncated, report.Rejected, report.ServerErr, report.Timeout, report.Transport, report.P99Ms)
+
+	if report.ServerErr != 0 {
+		t.Errorf("overload produced %d 5xx responses; want 0", report.ServerErr)
+	}
+	if report.Shed == 0 {
+		t.Error("offered 150/s against capacity 2 and nothing was shed")
+	}
+	if report.Shed != report.RetryAfter {
+		t.Errorf("%d sheds but only %d Retry-After headers", report.Shed, report.RetryAfter)
+	}
+	if report.OK == 0 {
+		t.Error("no query succeeded under overload: shedding is not protecting goodput")
+	}
+	if report.Rejected != 0 {
+		t.Errorf("%d unexpected 4xx rejections (bad requests in the mix?)", report.Rejected)
+	}
+	if report.Timeout != 0 || report.Transport != 0 {
+		t.Errorf("client-side failures: %d timeouts, %d transport errors", report.Timeout, report.Transport)
+	}
+	// Admitted work is bounded by queue wait (100ms) + query deadline
+	// (300ms) + scheduling slack; 2s of headroom keeps this robust on a
+	// loaded CI machine while still catching an unbounded tail.
+	if report.P99Ms > 2500 {
+		t.Errorf("p99 latency %.1fms exceeds the bounded-tail budget", report.P99Ms)
+	}
+	if st := srv.ctrl.Stats(); st.InFlight != 0 || st.Waiting != 0 {
+		t.Errorf("admission not drained after the burst: %+v", st)
+	}
+}

@@ -5,37 +5,71 @@
 // parallel over the same immutable arenas, each request pinning the
 // documents it touches for exactly its own lifetime.
 //
+// The server is built to survive overload. Every query passes an
+// admission controller (a weighted semaphore whose unit is fixpoint
+// worker slots, with a bounded FIFO wait queue); requests that do not fit
+// are shed with 429 + Retry-After instead of stacking goroutines. Every
+// admitted query runs under a resource budget — wall-clock deadline,
+// fixpoint round cap, row-materialization cap — and a truncated query
+// returns 422 with a typed code and the partial fixpoint statistics it
+// collected. Handler panics become a 500 and a counter, never a dead
+// process, and SIGINT/SIGTERM drains in-flight queries before closing
+// the store.
+//
 // Usage:
 //
-//	xqd -store snapshots/ [-addr :8090] [-mmap] [-cache-bytes N] [-cache-docs N] [-p workers] [-O 0|1]
+//	xqd -store snapshots/ [-addr :8090] [-mmap] [-cache-bytes N] [-cache-docs N]
+//	    [-p workers] [-O 0|1] [-query-timeout 30s] [-max-concurrent N]
+//	    [-queue-limit N] [-queue-timeout 15s] [-max-p N] [-max-body N]
+//	    [-max-rows N] [-max-rounds N] [-drain-timeout 10s]
 //
 // Endpoints:
 //
-//	GET/POST /query?q=…&engine=interp|rel&mode=auto|naive|delta&p=N&opt=0|1
+//	GET/POST /query?q=…&engine=interp|rel&mode=auto|naive|delta&p=N&opt=0|1&timeout_ms=N
 //	    evaluates q (POST bodies carry the query text when q is absent)
 //	    and returns JSON including elapsed_us and doc_wait_us — the part
 //	    of the latency spent resolving documents, 0 on a warm cache.
 //	    p overrides the server's fixpoint worker-pool width for this
-//	    request; evaluation is cancelled when the client disconnects.
-//	GET /stats    cache counters plus per-document arena statistics
-//	GET /healthz  liveness probe
+//	    request (capped at -max-p); timeout_ms tightens the deadline below
+//	    -query-timeout; evaluation is cancelled when the client disconnects.
+//	GET /stats    cache, admission, and overload counters plus per-document
+//	    arena statistics
+//	GET /healthz  liveness probe; 503 while draining or when the admission
+//	    queue is saturated (the next request would be shed)
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	ifpxq "repro"
+	"repro/internal/admission"
+	"repro/internal/par"
 	"repro/internal/store"
 	"repro/internal/xdm"
+)
+
+// Server-level error codes, disjoint from the IFPX evaluation codes so
+// clients can tell transport-layer rejections from query outcomes.
+const (
+	codeShed         = "XQDS0001" // admission queue full, request shed
+	codeQueueTimeout = "XQDS0002" // queued past the queue deadline
+	codeBodyTooLarge = "XQDS0003" // POST body over -max-body
+	codePanic        = "XQDS0004" // handler panic (reported, not fatal)
 )
 
 func main() {
@@ -48,6 +82,16 @@ func main() {
 		noParse    = flag.Bool("no-parse", false, "serve snapshots only, never parse XML")
 		parallel   = flag.Int("p", 1, "default fixpoint worker-pool width per query (0 = GOMAXPROCS)")
 		optLevel   = flag.Int("O", 1, "default relational plan optimizer level (0 = verbatim plan)")
+
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second, "per-query evaluation deadline (0 = unbounded); ?timeout_ms= can only tighten it")
+		maxConc      = flag.Int64("max-concurrent", 0, "admission capacity in worker slots (0 = 4×GOMAXPROCS)")
+		queueLimit   = flag.Int("queue-limit", 64, "admission wait-queue length; beyond it requests are shed with 429")
+		queueTimeout = flag.Duration("queue-timeout", 15*time.Second, "max time a request waits for admission before a 429")
+		maxP         = flag.Int("max-p", 0, "cap on per-request ?p= worker width (0 = 4×GOMAXPROCS)")
+		maxBody      = flag.Int64("max-body", 1<<20, "max POST body bytes; larger queries get 413")
+		maxRows      = flag.Int64("max-rows", 0, "per-query row-materialization budget (0 = unbounded)")
+		maxRounds    = flag.Int("max-rounds", 0, "per-query fixpoint round budget (0 = engine default cap)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight queries")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -71,38 +115,140 @@ func main() {
 	srv := newServer(st)
 	srv.parallelism = *parallel
 	srv.opt0 = *optLevel == 0
-	log.Printf("xqd: serving store %s on %s (mmap=%v, p=%d, O=%d)", *storeDir, *addr, *mmap, *parallel, *optLevel)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	srv.queryTimeout = *queryTimeout
+	srv.maxBody = *maxBody
+	srv.maxRows = *maxRows
+	srv.maxRounds = *maxRounds
+	if *maxP > 0 {
+		srv.maxP = *maxP
+	}
+	capacity := *maxConc
+	if capacity <= 0 {
+		capacity = int64(4 * runtime.GOMAXPROCS(0))
+	}
+	srv.ctrl = admission.New(admission.Options{
+		Capacity:     capacity,
+		QueueLimit:   *queueLimit,
+		QueueTimeout: *queueTimeout,
+	})
+
+	// WriteTimeout must outlast the worst admissible request: queue wait
+	// plus evaluation deadline plus serialization slack. An unbounded
+	// query deadline means an unbounded write timeout.
+	var writeTimeout time.Duration
+	if *queryTimeout > 0 {
+		writeTimeout = *queryTimeout + *queueTimeout + 10*time.Second
+	}
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	log.Printf("xqd: serving store %s on %s (mmap=%v, p=%d, O=%d, capacity=%d, queue=%d, query-timeout=%s)",
+		*storeDir, *addr, *mmap, *parallel, *optLevel, capacity, *queueLimit, *queryTimeout)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal("xqd: ", err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		srv.draining.Store(true)
+		log.Printf("xqd: signal received, draining in-flight queries (budget %s)", *drainTimeout)
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("xqd: shutdown: %v", err)
+		}
+		st.Close()
+		log.Printf("xqd: drained, store closed")
+	}
 }
 
 // server shares one document store across all requests; net/http runs
 // each request on its own goroutine, so the cache's pinning and
-// singleflight are what make the parallel reads safe.
+// singleflight are what make the parallel reads safe — and the admission
+// controller is what keeps the goroutine count proportional to capacity
+// rather than to offered load.
 type server struct {
 	store *store.Store
+	ctrl  *admission.Controller
 	// parallelism is the default per-query fixpoint worker-pool width;
-	// requests override it with ?p=. The server already parallelizes
-	// across requests, so the default keeps each query sequential.
+	// requests override it with ?p=, capped at maxP. The server already
+	// parallelizes across requests, so the default keeps each query
+	// sequential.
 	parallelism int
+	maxP        int
 	// opt0 disables the relational plan optimizer by default; requests
 	// override per query with ?opt=0|1.
-	opt0    bool
-	started time.Time
-	queries atomic.Int64
-	mux     *http.ServeMux
+	opt0         bool
+	queryTimeout time.Duration // 0 = unbounded; ?timeout_ms= only tightens
+	maxBody      int64
+	maxRows      int64
+	maxRounds    int
+	started      time.Time
+	queries      atomic.Int64 // successfully answered queries
+	timeouts     atomic.Int64 // queries truncated by the deadline budget
+	panics       atomic.Int64 // handler panics recovered to 500s
+	draining     atomic.Bool
+	mux          *http.ServeMux
 }
 
 func newServer(st *store.Store) *server {
-	s := &server{store: st, parallelism: 1, started: time.Now(), mux: http.NewServeMux()}
+	s := &server{
+		store:        st,
+		parallelism:  1,
+		maxP:         4 * runtime.GOMAXPROCS(0),
+		queryTimeout: 30 * time.Second,
+		maxBody:      1 << 20,
+		started:      time.Now(),
+		mux:          http.NewServeMux(),
+	}
+	s.ctrl = admission.New(admission.Options{
+		Capacity:     int64(4 * runtime.GOMAXPROCS(0)),
+		QueueLimit:   64,
+		QueueTimeout: 15 * time.Second,
+	})
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP recovers handler panics into a 500 and a counter: one bad
+// query must not take down the process or the other in-flight queries.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.panics.Add(1)
+			log.Printf("xqd: panic serving %s: %v\n%s", r.URL.Path, rec, debug.Stack())
+			writeErrorCode(w, http.StatusInternalServerError, codePanic,
+				fmt.Errorf("internal error (recovered panic)"))
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	case s.ctrl.Saturated():
+		http.Error(w, "saturated", http.StatusServiceUnavailable)
+	default:
+		io.WriteString(w, "ok\n")
+	}
+}
 
 // queryResponse is the /query JSON shape.
 type queryResponse struct {
@@ -125,17 +271,42 @@ type fixpointJSON struct {
 	ResultSize   int    `json:"result_size"`
 }
 
+func fixpointsJSON(fps []ifpxq.FixpointStats) []fixpointJSON {
+	var out []fixpointJSON
+	for _, fp := range fps {
+		out = append(out, fixpointJSON{
+			Algorithm:    fp.Algorithm.String(),
+			Distributive: fp.Distributive,
+			Executions:   fp.Executions,
+			Depth:        fp.Stats.Depth,
+			NodesFedBack: fp.Stats.NodesFedBack,
+			ResultSize:   fp.Stats.ResultSize,
+		})
+	}
+	return out
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code,omitempty"`
+	// Fixpoints carries the partial instrumentation a budget-truncated
+	// query collected before it was cut off.
+	Fixpoints []fixpointJSON `json:"fixpoints,omitempty"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	src := r.URL.Query().Get("q")
 	if src == "" && r.Method == http.MethodPost {
-		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		// Read one byte past the cap so truncation is detectable rather
+		// than silently evaluating a prefix of the query.
+		body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if int64(len(body)) > s.maxBody {
+			writeErrorCode(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Errorf("query body exceeds %d bytes", s.maxBody))
 			return
 		}
 		src = string(body)
@@ -144,21 +315,26 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query: pass ?q= or a POST body"))
 		return
 	}
-	// Evaluation observes the request context: a disconnected client
-	// cancels its fixpoint rounds and drains the worker pool instead of
-	// computing an answer nobody reads.
-	opts := ifpxq.Options{Parallelism: s.parallelism, Context: r.Context()}
+	opts := ifpxq.Options{Parallelism: s.parallelism}
 	if s.opt0 {
 		opts.Opt = ifpxq.Opt0
 	}
 	if pv := r.URL.Query().Get("p"); pv != "" {
 		p, err := strconv.Atoi(pv)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad worker count %q", pv))
+		if err != nil || p < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad worker count %q (need an integer ≥ 0)", pv))
 			return
 		}
 		opts.Parallelism = p
 	}
+	// Resolve the effective worker width now: it is both the evaluation
+	// parallelism (capped at -max-p; results are byte-identical at every
+	// width, so capping is safe) and the admission weight.
+	eff := par.Workers(opts.Parallelism)
+	if s.maxP > 0 && eff > s.maxP {
+		eff = s.maxP
+	}
+	opts.Parallelism = eff
 	switch r.URL.Query().Get("opt") {
 	case "":
 	case "0":
@@ -187,12 +363,55 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", r.URL.Query().Get("mode")))
 		return
 	}
+	timeout := s.queryTimeout
+	if tv := r.URL.Query().Get("timeout_ms"); tv != "" {
+		ms, err := strconv.Atoi(tv)
+		if err != nil || ms <= 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout_ms %q (need an integer > 0)", tv))
+			return
+		}
+		if d := time.Duration(ms) * time.Millisecond; timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
 
+	// Parse before admission: malformed queries should not consume (or
+	// wait for) evaluation capacity.
 	q, err := ifpxq.Parse(src)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+
+	release, err := s.ctrl.Acquire(r.Context(), int64(eff))
+	if err != nil {
+		switch {
+		case errors.Is(err, admission.ErrShed):
+			w.Header().Set("Retry-After", "1")
+			writeErrorCode(w, http.StatusTooManyRequests, codeShed, err)
+		case errors.Is(err, admission.ErrQueueTimeout):
+			w.Header().Set("Retry-After", "2")
+			writeErrorCode(w, http.StatusTooManyRequests, codeQueueTimeout, err)
+		default:
+			// The client disconnected while queued; nobody reads a reply.
+		}
+		return
+	}
+	defer release()
+
+	// The budget deadline is the authoritative cutoff (typed error,
+	// deterministic message); the context deadline trails it as a backstop
+	// so a stall between budget checkpoints still unwinds.
+	ctx := r.Context()
+	if timeout > 0 {
+		opts.Deadline = time.Now().Add(timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, opts.Deadline.Add(100*time.Millisecond))
+		defer cancel()
+	}
+	opts.Context = ctx
+	opts.MaxRows = s.maxRows
+	opts.MaxRounds = s.maxRounds
 
 	// Resolve through an explicit session (rather than Options.Store) so
 	// the handler can report how much of the latency was document I/O.
@@ -214,7 +433,14 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if xdm.IsNotFound(err) {
 			status = http.StatusNotFound
 		}
-		writeError(w, status, err)
+		if xdm.CodeOf(err) == xdm.ErrDeadline {
+			s.timeouts.Add(1)
+		}
+		resp := errorResponse{Error: err.Error(), Code: string(xdm.CodeOf(err))}
+		if xdm.IsBudget(err) && res != nil {
+			resp.Fixpoints = fixpointsJSON(res.Fixpoints)
+		}
+		writeJSON(w, status, resp)
 		return
 	}
 	s.queries.Add(1)
@@ -223,27 +449,22 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Count:     res.Count(),
 		ElapsedUs: elapsed.Microseconds(),
 		DocWaitUs: docWait.Load() / 1e3,
-	}
-	for _, fp := range res.Fixpoints {
-		resp.Fixpoints = append(resp.Fixpoints, fixpointJSON{
-			Algorithm:    fp.Algorithm.String(),
-			Distributive: fp.Distributive,
-			Executions:   fp.Executions,
-			Depth:        fp.Stats.Depth,
-			NodesFedBack: fp.Stats.NodesFedBack,
-			ResultSize:   fp.Stats.ResultSize,
-		})
+		Fixpoints: fixpointsJSON(res.Fixpoints),
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // statsResponse is the /stats JSON shape.
 type statsResponse struct {
-	UptimeS float64          `json:"uptime_s"`
-	Queries int64            `json:"queries"`
-	Store   storeJSON        `json:"store"`
-	Cache   store.CacheStats `json:"cache"`
-	Docs    []store.DocInfo  `json:"docs"`
+	UptimeS   float64          `json:"uptime_s"`
+	Queries   int64            `json:"queries"`
+	Timeouts  int64            `json:"timeouts"`
+	Panics    int64            `json:"panics"`
+	Draining  bool             `json:"draining"`
+	Admission admission.Stats  `json:"admission"`
+	Store     storeJSON        `json:"store"`
+	Cache     store.CacheStats `json:"cache"`
+	Docs      []store.DocInfo  `json:"docs"`
 }
 
 type storeJSON struct {
@@ -253,11 +474,15 @@ type storeJSON struct {
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{
-		UptimeS: time.Since(s.started).Seconds(),
-		Queries: s.queries.Load(),
-		Store:   storeJSON{Dir: s.store.Dir(), Mmap: s.store.Mmap()},
-		Cache:   s.store.Cache().Stats(),
-		Docs:    s.store.Cache().Docs(),
+		UptimeS:   time.Since(s.started).Seconds(),
+		Queries:   s.queries.Load(),
+		Timeouts:  s.timeouts.Load(),
+		Panics:    s.panics.Load(),
+		Draining:  s.draining.Load(),
+		Admission: s.ctrl.Stats(),
+		Store:     storeJSON{Dir: s.store.Dir(), Mmap: s.store.Mmap()},
+		Cache:     s.store.Cache().Stats(),
+		Docs:      s.store.Cache().Docs(),
 	})
 }
 
@@ -270,5 +495,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error(), Code: string(xdm.CodeOf(err))})
+	writeErrorCode(w, status, string(xdm.CodeOf(err)), err)
+}
+
+func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error(), Code: code})
 }

@@ -1,0 +1,134 @@
+// Command xqload drives an xqd server with open-loop load and reports
+// how gracefully it degrades. It offers a weighted mix of query classes —
+// a cheap scan, a real fixpoint (transitive closure over the curriculum
+// document), and a pathological non-converging recursion that exists only
+// to burn its deadline — at one or more fixed arrival rates, and prints
+// goodput, shed/truncation counts, and latency percentiles per rate.
+//
+// The interesting sweep crosses the server's capacity: below it goodput
+// tracks offered load and 429s are rare; above it goodput should plateau
+// (not collapse) while the overflow turns into fast 429s and the tail
+// latency stays bounded by the query deadline. Any 5xx is a failure of
+// the server's overload story.
+//
+// Usage:
+//
+//	xqload -url http://127.0.0.1:8090 [-rate 50] [-rates 10,50,200]
+//	       [-duration 10s] [-timeout 60s] [-doc curriculum.xml] [-json]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/xqload"
+)
+
+func defaultClasses(doc string) []xqload.Class {
+	return []xqload.Class{
+		{
+			// Cheap: one document scan, no recursion. The bulk of the mix,
+			// as in any realistic workload.
+			Name:   "scan",
+			Query:  fmt.Sprintf(`count(doc(%q)//*)`, doc),
+			Weight: 6,
+		},
+		{
+			// Fixpoint: the paper's transitive closure over course
+			// prerequisites — real recursive work with a real answer.
+			Name: "fixpoint",
+			Query: fmt.Sprintf(`for $c in doc(%q)/curriculum/course
+where exists($c intersect (with $x seeded by $c recurse $x/id(./prerequisites/pre_code)))
+return $c/@code/string()`, doc),
+			Weight: 3,
+		},
+		{
+			// Pathological: each round's constructor mints fresh nodes, so
+			// the fixpoint never converges — it exists to hold capacity
+			// until the deadline truncates it. The tight timeout_ms keeps
+			// its blast radius small, which is exactly the mechanism under
+			// test.
+			Name:   "runaway",
+			Query:  `count(with $x seeded by <a/> recurse <b/>)`,
+			Extra:  "timeout_ms=500",
+			Weight: 1,
+		},
+	}
+}
+
+func main() {
+	var (
+		baseURL  = flag.String("url", "http://127.0.0.1:8090", "xqd base URL")
+		rate     = flag.Float64("rate", 50, "offered arrival rate (requests/sec)")
+		rates    = flag.String("rates", "", "comma-separated rate sweep (overrides -rate)")
+		duration = flag.Duration("duration", 10*time.Second, "arrival window per rate")
+		timeout  = flag.Duration("timeout", 60*time.Second, "client-side per-request timeout")
+		doc      = flag.String("doc", "curriculum.xml", "document URI the query mix targets")
+		jsonOut  = flag.Bool("json", false, "emit reports as a JSON array")
+	)
+	flag.Parse()
+
+	var sweep []float64
+	if *rates != "" {
+		for _, f := range strings.Split(*rates, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil || r <= 0 {
+				fmt.Fprintf(os.Stderr, "xqload: bad rate %q in -rates\n", f)
+				os.Exit(2)
+			}
+			sweep = append(sweep, r)
+		}
+	} else {
+		sweep = []float64{*rate}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var reports []*xqload.Report
+	for _, r := range sweep {
+		rep, err := xqload.Run(ctx, xqload.Options{
+			BaseURL:  *baseURL,
+			Rate:     r,
+			Duration: *duration,
+			Timeout:  *timeout,
+			Classes:  defaultClasses(*doc),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xqload:", err)
+			os.Exit(1)
+		}
+		reports = append(reports, rep)
+		if !*jsonOut {
+			printReport(rep)
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(reports)
+	}
+}
+
+func printReport(r *xqload.Report) {
+	fmt.Printf("offered %.0f req/s for %s: sent=%d ok=%d goodput=%.1f/s shed=%d (retry-after on %d) truncated=%d rejected=%d 5xx=%d timeout=%d transport=%d\n",
+		r.OfferedQPS, r.Duration, r.Sent, r.OK, r.GoodputQPS,
+		r.Shed, r.RetryAfter, r.Truncated, r.Rejected, r.ServerErr, r.Timeout, r.Transport)
+	fmt.Printf("  latency (ok only): p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms\n",
+		r.P50Ms, r.P95Ms, r.P99Ms, r.MaxMs)
+	for _, c := range r.Classes {
+		fmt.Printf("  class %-10s sent=%-5d ok=%-5d shed=%-5d truncated=%-5d 5xx=%-3d p99=%.1fms\n",
+			c.Name, c.Sent, c.OK, c.Shed, c.Truncated, c.ServerErr, c.P99Ms)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/algebra"
 	"repro/internal/algebra/opt"
@@ -155,6 +156,32 @@ type Options struct {
 	// it between rounds and inside sharded operators, and the worker pool
 	// is fully drained before the context's error is returned.
 	Context context.Context
+	// Deadline, when non-zero, bounds the evaluation's wall-clock time.
+	// It is checked on entry, between fixpoint rounds in both engines, at
+	// every table materialization in the relational executor, and on a
+	// sampled counter in the interpreter's tree walk; crossing it returns
+	// a typed xdm.ErrDeadline error. Unlike Context cancellation the error
+	// is deterministic in shape, so servers can classify timeouts.
+	Deadline time.Time
+	// MaxRounds bounds the post-seed rounds of every fixpoint site (per
+	// execution). The paper's µ/µ∆ deliberately admit unbounded recursion;
+	// MaxRounds turns a runaway site into a typed xdm.ErrRounds error.
+	// Unlike MaxIterations (the divergence backstop, an ErrIFP), this is a
+	// per-request allowance with its own budget-exceeded code. 0 = no
+	// bound beyond MaxIterations.
+	MaxRounds int
+	// MaxRows bounds the rows the evaluation may materialize, cumulatively:
+	// fixpoint feeds and growth in both engines, plus every operator table
+	// the relational executor builds. Exceeding it returns a typed
+	// xdm.ErrRows error. 0 = unbounded.
+	MaxRows int64
+}
+
+// budget assembles the per-evaluation resource budget; nil when nothing
+// is bounded. Each Eval call builds a fresh budget, so row accounting
+// never leaks across evaluations of a shared Query.
+func (o *Options) budget() *xdm.Budget {
+	return xdm.NewBudget(o.Deadline, o.MaxRounds, o.MaxRows)
 }
 
 // resolver builds the effective fn:doc resolver for one evaluation and
@@ -339,7 +366,20 @@ func (r *Result) Strings() []string {
 func (r *Result) Count() int { return len(r.Items) }
 
 // Eval evaluates the query under the given options.
+//
+// When a resource budget (Deadline, MaxRounds, MaxRows) cuts the
+// evaluation off, the error is typed (xdm.IsBudget) and the returned
+// Result is non-nil with nil Items and Fixpoints carrying the partial
+// instrumentation collected before the cutoff. Every other error returns
+// a nil Result, as before.
 func (q *Query) Eval(opts Options) (*Result, error) {
+	budget := opts.budget()
+	// The entry check makes an already-expired deadline fail identically
+	// across every engine, mode, optimizer level, and worker count: no
+	// engine runs a single operator first.
+	if err := budget.CheckDeadline(); err != nil {
+		return &Result{}, err
+	}
 	docs, done := opts.resolver()
 	defer done()
 	switch opts.Engine {
@@ -359,7 +399,7 @@ func (q *Query) Eval(opts Options) (*Result, error) {
 			Mode: mode, MaxIterations: opts.MaxIterations,
 			Strict: opts.StrictAlgebraicCheck, Docs: docs,
 			Parallelism: opts.Parallelism, Context: opts.Context,
-			Optimize: optimize,
+			Optimize: optimize, Budget: budget,
 		})
 		if err != nil {
 			return nil, err
@@ -369,10 +409,7 @@ func (q *Query) Eval(opts Options) (*Result, error) {
 			distributive = distributive || site.Distributive || site.DistributiveExt
 		}
 		seq, runs, err := en.Eval()
-		if err != nil {
-			return nil, err
-		}
-		res := &Result{Items: seq}
+		res := &Result{}
 		for _, run := range runs {
 			alg := core.Naive
 			if run.Delta {
@@ -383,6 +420,13 @@ func (q *Query) Eval(opts Options) (*Result, error) {
 				Executions: run.Executions, Stats: run.Stats,
 			})
 		}
+		if err != nil {
+			if xdm.IsBudget(err) {
+				return res, err
+			}
+			return nil, err
+		}
+		res.Items = seq
 		return res, nil
 	default:
 		mode := interp.ModeAuto
@@ -396,9 +440,20 @@ func (q *Query) Eval(opts Options) (*Result, error) {
 			Mode: mode, MaxIterations: opts.MaxIterations,
 			Docs: docs, ContextItem: opts.ContextItem,
 			Parallelism: opts.Parallelism, Context: opts.Context,
+			Budget: budget,
 		})
 		out, err := en.Eval()
 		if err != nil {
+			if out != nil && xdm.IsBudget(err) {
+				res := &Result{}
+				for _, run := range out.IFPRuns {
+					res.Fixpoints = append(res.Fixpoints, FixpointStats{
+						Algorithm: run.Algorithm, Distributive: run.Distributive,
+						Executions: run.Executions, Stats: run.Stats,
+					})
+				}
+				return res, err
+			}
 			return nil, err
 		}
 		res := &Result{Items: out.Value}

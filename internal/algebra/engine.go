@@ -35,6 +35,11 @@ type Options struct {
 	Parallelism int
 	// Context, when non-nil, cancels execution between and within rounds.
 	Context context.Context
+	// Budget, when non-nil, bounds execution: every freshly materialized
+	// table is charged against the row budget, and the fixpoint drivers
+	// check the deadline and round budget between rounds. Budget errors
+	// unwind with the MuRun stats collected so far.
+	Budget *xdm.Budget
 	// Optimize, when non-nil, rewrites the compiled plan between
 	// compilation and execution (callers pass opt.Optimize from
 	// internal/algebra/opt; nil executes the compiler's verbatim plan).
@@ -87,7 +92,7 @@ func (e *Engine) Eval() (xdm.Sequence, []MuRun, error) {
 	ctx := &ExecContext{
 		Docs: e.opts.Docs, MaxIterations: e.opts.MaxIterations,
 		Parallelism: e.opts.Parallelism, Ctx: e.opts.Context,
-		LoopDeps: e.plan.LoopDeps,
+		LoopDeps: e.plan.LoopDeps, Budget: e.opts.Budget,
 	}
 	t, err := Eval(e.plan.Root, ctx)
 	if err != nil {

@@ -130,6 +130,13 @@ type ExecContext struct {
 	// instead of re-deriving the property with its own walk; nil (-O0)
 	// falls back to recDependents.
 	LoopDeps map[*Node]bool
+	// Budget, when non-nil, bounds the execution: eval charges each freshly
+	// computed operator table against the row budget and polls the deadline,
+	// and evalMu adds per-round deadline/round checks plus feed and growth
+	// charges. All check sites run on the driving goroutine at points whose
+	// order does not depend on the worker count, so a truncation error is
+	// byte-identical at every parallelism setting.
+	Budget *xdm.Budget
 
 	memo      map[*Node]*Table
 	binding   map[*Node]*Table // OpRecBase → current feed
@@ -198,8 +205,26 @@ func (ctx *ExecContext) eval(n *Node) (*Table, error) {
 	}
 	if n.Op != OpRecBase {
 		ctx.memo[n] = t
+		// A memoized table was freshly materialized by this operator:
+		// charge it. OpRecBase is exempt — it aliases the current fixpoint
+		// feed, which evalMu charges once per round where it is built.
+		if err := ctx.chargeTable(t); err != nil {
+			return nil, err
+		}
 	}
 	return t, nil
+}
+
+// chargeTable accounts one freshly materialized table against the budget
+// and polls the deadline — the executor's row-materialization check site.
+func (ctx *ExecContext) chargeTable(t *Table) error {
+	if ctx.Budget == nil {
+		return nil
+	}
+	if err := ctx.Budget.CheckDeadline(); err != nil {
+		return err
+	}
+	return ctx.Budget.ChargeRows(t.Len())
 }
 
 func (ctx *ExecContext) kid(n *Node, i int) (*Table, error) { return ctx.eval(n.Kids[i]) }

@@ -55,7 +55,11 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 		// become collectible here: their memo entries were just dropped,
 		// and columnar tables own their vectors outright — no shared slab
 		// pins O(rounds × result) rows across rounds.
-		ctx.binding[n.RecBase] = feed.table()
+		ft := feed.table()
+		if err := ctx.chargeTable(ft); err != nil {
+			return nil, err
+		}
+		ctx.binding[n.RecBase] = ft
 		out, err := ctx.eval(n.Kids[1])
 		if err != nil {
 			return nil, err
@@ -70,11 +74,15 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	budget := ctx.Budget
 	if n.Delta {
 		delta := res
 		for round := 0; delta.size() > 0; round++ {
 			if round >= maxIter {
 				return nil, xdm.Errorf(xdm.ErrIFP, "µ∆ did not converge within %d rounds", maxIter)
+			}
+			if err := budget.CheckRound(round); err != nil {
+				return nil, err
 			}
 			out, err := body(delta)
 			if err != nil {
@@ -84,11 +92,17 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
+			if err := budget.ChargeRows(delta.size()); err != nil {
+				return nil, err
+			}
 		}
 	} else {
 		for round := 0; ; round++ {
 			if round >= maxIter {
 				return nil, xdm.Errorf(xdm.ErrIFP, "µ did not converge within %d rounds", maxIter)
+			}
+			if err := budget.CheckRound(round); err != nil {
+				return nil, err
 			}
 			out, err := body(res)
 			if err != nil {
@@ -100,6 +114,9 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 			}
 			if d.size() == 0 {
 				break
+			}
+			if err := budget.ChargeRows(d.size()); err != nil {
+				return nil, err
 			}
 		}
 	}

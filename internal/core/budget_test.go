@@ -1,0 +1,130 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/par/leaktest"
+	"repro/internal/xdm"
+)
+
+// chainFixture is a path graph 0→1→…→n-1 seeded at vertex 0: the fixpoint
+// needs exactly n-1 productive rounds, so round and row budgets have
+// predictable trip points.
+func chainFixture(n int) (xdm.Sequence, Payload) {
+	_, verts := graphDoc(n)
+	adj := make([][]int, n)
+	for i := 0; i < n-1; i++ {
+		adj[i] = []int{i + 1}
+	}
+	return xdm.Sequence{xdm.NewNode(verts[0])}, successorPayload(verts, adj)
+}
+
+func TestBudgetDeadlineTruncates(t *testing.T) {
+	seed, body := chainFixture(10)
+	for _, alg := range []Algorithm{Naive, Delta} {
+		budget := xdm.NewBudget(time.Now().Add(-time.Millisecond), 0, 0)
+		res, _, err := RunWith(alg, seed, body, Config{Budget: budget})
+		if err == nil {
+			t.Fatalf("%v: expired deadline did not truncate", alg)
+		}
+		if xdm.CodeOf(err) != xdm.ErrDeadline {
+			t.Fatalf("%v: code = %v, want ErrDeadline (err: %v)", alg, xdm.CodeOf(err), err)
+		}
+		if res != nil {
+			t.Fatalf("%v: truncated run returned a result", alg)
+		}
+	}
+}
+
+func TestBudgetRoundsTruncateIdentically(t *testing.T) {
+	seed, body := chainFixture(10)
+	var msgs []string
+	for _, alg := range []Algorithm{Naive, Delta} {
+		for _, p := range []int{1, 3} {
+			budget := xdm.NewBudget(time.Time{}, 3, 0)
+			_, st, err := RunWith(alg, seed, body, Config{Budget: budget, Parallelism: p})
+			if err == nil {
+				t.Fatalf("%v p=%d: 3-round budget did not truncate a depth-9 closure", alg, p)
+			}
+			if xdm.CodeOf(err) != xdm.ErrRounds {
+				t.Fatalf("%v p=%d: code = %v, want ErrRounds (err: %v)", alg, p, xdm.CodeOf(err), err)
+			}
+			// Partial stats must reflect the rounds that did run.
+			if st.PayloadCalls == 0 {
+				t.Fatalf("%v p=%d: truncated run reports zero payload calls", alg, p)
+			}
+			msgs = append(msgs, err.Error())
+		}
+	}
+	for _, m := range msgs[1:] {
+		if m != msgs[0] {
+			t.Fatalf("truncation messages diverge across algorithm/parallelism:\n%q\nvs\n%q", m, msgs[0])
+		}
+	}
+}
+
+func TestBudgetRowsTruncateIdentically(t *testing.T) {
+	seed, body := chainFixture(20)
+	var msgs []string
+	for _, alg := range []Algorithm{Naive, Delta} {
+		for _, p := range []int{1, 3} {
+			budget := xdm.NewBudget(time.Time{}, 0, 5)
+			_, _, err := RunWith(alg, seed, body, Config{Budget: budget, Parallelism: p})
+			if err == nil {
+				t.Fatalf("%v p=%d: 5-row budget did not truncate a 20-node closure", alg, p)
+			}
+			if xdm.CodeOf(err) != xdm.ErrRows {
+				t.Fatalf("%v p=%d: code = %v, want ErrRows (err: %v)", alg, p, xdm.CodeOf(err), err)
+			}
+			msgs = append(msgs, err.Error())
+		}
+	}
+	for _, m := range msgs[1:] {
+		if m != msgs[0] {
+			t.Fatalf("truncation messages diverge across algorithm/parallelism:\n%q\nvs\n%q", m, msgs[0])
+		}
+	}
+}
+
+func TestBudgetGenerousIsInvisible(t *testing.T) {
+	seed, body := chainFixture(12)
+	for _, alg := range []Algorithm{Naive, Delta} {
+		free, freeStats, err := RunWith(alg, seed, body, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := xdm.NewBudget(time.Now().Add(time.Hour), 1<<20, 1<<40)
+		got, gotStats, err := RunWith(alg, seed, body, Config{Budget: budget})
+		if err != nil {
+			t.Fatalf("%v: generous budget errored: %v", alg, err)
+		}
+		if len(got) != len(free) || gotStats != freeStats {
+			t.Fatalf("%v: generous budget changed the outcome: %d rows %+v vs %d rows %+v",
+				alg, len(got), gotStats, len(free), freeStats)
+		}
+	}
+}
+
+// TestBudgetTruncationDrainsWorkers checks the unwinding contract under
+// -race: a budget tripping mid-computation must not strand pool
+// goroutines, at any worker count. Run under -race.
+func TestBudgetTruncationDrainsWorkers(t *testing.T) {
+	seed, body := chainFixture(40)
+	before := runtime.NumGoroutine()
+	for _, alg := range []Algorithm{Naive, Delta} {
+		for _, p := range []int{2, 4} {
+			for _, budget := range []*xdm.Budget{
+				xdm.NewBudget(time.Time{}, 4, 0),
+				xdm.NewBudget(time.Time{}, 0, 9),
+				xdm.NewBudget(time.Now().Add(-time.Second), 0, 0),
+			} {
+				if _, _, err := RunWith(alg, seed, body, Config{Budget: budget, Parallelism: p}); err == nil {
+					t.Fatalf("%v p=%d: budget did not truncate", alg, p)
+				}
+			}
+		}
+	}
+	leaktest.Wait(t, before)
+}

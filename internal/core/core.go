@@ -86,6 +86,11 @@ type Config struct {
 	// inside the sharded accumulation; the run returns the context's error
 	// with the worker pool fully drained.
 	Context context.Context
+	// Budget, when non-nil, bounds the computation: the deadline and the
+	// round budget are checked between rounds, and the feed plus each
+	// round's absorbed growth are charged against the row budget. Budget
+	// errors unwind with the Stats collected so far.
+	Budget *xdm.Budget
 }
 
 // Run computes the IFP of the payload seeded by seed using the requested
@@ -133,11 +138,17 @@ func runNaive(seed xdm.Sequence, body Payload, cfg Config) (xdm.Sequence, Stats,
 	if err := seedAccumulator(&acc, seed, body, &st); err != nil {
 		return nil, st, err
 	}
+	if err := cfg.Budget.ChargeRows(acc.Len()); err != nil {
+		return nil, st, err
+	}
 	feed := acc.Sequence()
 	for round := 0; ; round++ {
 		if round >= maxIter {
 			return nil, st, xdm.Errorf(xdm.ErrIFP,
 				"inflationary fixed point did not converge within %d iterations", maxIter)
+		}
+		if err := checkBudgetRound(cfg.Budget, round, len(feed)); err != nil {
+			return nil, st, err
 		}
 		if err := par.CtxErr(cfg.Context); err != nil {
 			return nil, st, err
@@ -154,6 +165,9 @@ func runNaive(seed xdm.Sequence, body Payload, cfg Config) (xdm.Sequence, Stats,
 			st.Depth = st.PayloadCalls - 1
 			st.ResultSize = acc.Len()
 			return feed, st, nil
+		}
+		if err := cfg.Budget.ChargeRows(len(fresh)); err != nil {
+			return nil, st, err
 		}
 		feed = acc.Sequence()
 	}
@@ -182,11 +196,17 @@ func runDelta(seed xdm.Sequence, body Payload, cfg Config) (xdm.Sequence, Stats,
 	if err := seedAccumulator(&acc, seed, body, &st); err != nil {
 		return nil, st, err
 	}
+	if err := cfg.Budget.ChargeRows(acc.Len()); err != nil {
+		return nil, st, err
+	}
 	delta := acc.Nodes()
 	for round := 0; len(delta) > 0; round++ {
 		if round >= maxIter {
 			return nil, st, xdm.Errorf(xdm.ErrIFP,
 				"inflationary fixed point did not converge within %d iterations", maxIter)
+		}
+		if err := checkBudgetRound(cfg.Budget, round, len(delta)); err != nil {
+			return nil, st, err
 		}
 		if err := par.CtxErr(cfg.Context); err != nil {
 			return nil, st, err
@@ -199,10 +219,31 @@ func runDelta(seed xdm.Sequence, body Payload, cfg Config) (xdm.Sequence, Stats,
 		if err != nil {
 			return nil, st, err
 		}
+		if err := cfg.Budget.ChargeRows(len(delta)); err != nil {
+			return nil, st, err
+		}
 	}
 	st.Depth = st.PayloadCalls - 1
 	st.ResultSize = acc.Len()
 	return acc.Sequence(), st, nil
+}
+
+// checkBudgetRound is the per-round budget gate shared by both drivers:
+// deadline first (wall clock beats counters), then the round budget, then
+// the feed about to be handed to the payload charged against the row
+// budget. It runs before the payload application, so a tripped budget
+// never pays for one more round.
+func checkBudgetRound(b *xdm.Budget, round, feedLen int) error {
+	if b == nil {
+		return nil
+	}
+	if err := b.CheckDeadline(); err != nil {
+		return err
+	}
+	if err := b.CheckRound(round); err != nil {
+		return err
+	}
+	return b.ChargeRows(feedLen)
 }
 
 // absorbMinChunk is the smallest per-worker slice of a round's answer

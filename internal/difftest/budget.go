@@ -1,0 +1,183 @@
+package difftest
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	ifpxq "repro"
+	"repro/internal/xdm"
+)
+
+// combo is one (engine, mode) cell of the differential grid; budgets must
+// behave identically across every cell.
+type combo struct {
+	engine ifpxq.Engine
+	mode   ifpxq.Mode
+}
+
+// CheckBudgets asserts the resource-budget contract differentially:
+//
+//   - budgets that are not hit change nothing: under generous limits every
+//     configuration returns the byte-identical result and identical
+//     fixpoint statistics of its budget-free baseline;
+//   - budgets that are hit truncate identically: an already-expired
+//     deadline, a round budget below the recursion depth, and a row budget
+//     below the fixpoint size each fail in every (engine, mode, optimizer
+//     level, parallelism) configuration with the same typed code and the
+//     byte-identical error message, and return a non-nil partial Result.
+//
+// The round and row grids only run on cases where the trip point is
+// engine-independent by construction — exactly one fixpoint site, executed
+// once, with the same depth and result size in every cell — because row
+// accounting legitimately differs across engines (the relational executor
+// charges every materialized table, the interpreter charges fixpoint feeds
+// and growth), so only budgets strictly below what every cell must consume
+// are guaranteed to trip everywhere.
+func CheckBudgets(t testing.TB, c Case) {
+	t.Helper()
+	var q *ifpxq.Query
+	var err error
+	if c.RegularXPath {
+		q, err = ifpxq.ParseRegularXPath(c.Query)
+	} else {
+		q, err = ifpxq.Parse(c.Query)
+	}
+	if err != nil {
+		t.Fatalf("seed %d: parse %q: %v", c.Seed, c.Query, err)
+	}
+	doc, err := ifpxq.ParseDocument(c.XML, c.URI)
+	if err != nil {
+		t.Fatalf("seed %d: document: %v", c.Seed, err)
+	}
+	docs := ifpxq.DocsFromDocuments(map[string]*xdm.Document{c.URI: doc})
+	root := xdm.NewNode(doc.Root())
+
+	engines := []ifpxq.Engine{ifpxq.EngineInterpreter}
+	if !c.RegularXPath {
+		engines = append(engines, ifpxq.EngineRelational)
+	}
+	var combos []combo
+	for _, engine := range engines {
+		for _, mode := range []ifpxq.Mode{ifpxq.ModeNaive, ifpxq.ModeAuto} {
+			combos = append(combos, combo{engine, mode})
+		}
+	}
+	mkOpts := func(cb combo, opt ifpxq.OptLevel, p int) ifpxq.Options {
+		opts := ifpxq.Options{Engine: cb.engine, Mode: cb.mode, Docs: docs, Parallelism: p, Opt: opt}
+		if c.RegularXPath {
+			opts.ContextItem = &root
+		}
+		return opts
+	}
+
+	// Budget-free baselines per cell. A case some cell cannot evaluate is
+	// Check's business, not this harness's — skip it here.
+	base := map[combo]*ifpxq.Result{}
+	for _, cb := range combos {
+		res, err := q.Eval(mkOpts(cb, ifpxq.Opt1, 1))
+		if err != nil {
+			return
+		}
+		base[cb] = res
+	}
+
+	// forGrid runs fn over the full configuration grid.
+	forGrid := func(fn func(cb combo, opt ifpxq.OptLevel, p int, opts ifpxq.Options)) {
+		for _, cb := range combos {
+			optLevels := OptLevels
+			if cb.engine == ifpxq.EngineInterpreter {
+				optLevels = OptLevels[:1]
+			}
+			for _, opt := range optLevels {
+				for _, p := range Parallelisms {
+					fn(cb, opt, p, mkOpts(cb, opt, p))
+				}
+			}
+		}
+	}
+
+	// 1. Generous budgets are invisible: byte-identical results and stats.
+	forGrid(func(cb combo, opt ifpxq.OptLevel, p int, opts ifpxq.Options) {
+		opts.Deadline = time.Now().Add(time.Hour)
+		opts.MaxRounds = 1 << 20
+		opts.MaxRows = 1 << 40
+		res, err := q.Eval(opts)
+		if err != nil {
+			t.Errorf("seed %d engine=%v mode=%v -O%s p=%d: generous budget introduced error: %v",
+				c.Seed, cb.engine, cb.mode, optName(opt), p, err)
+			return
+		}
+		if got, want := res.String(), base[cb].String(); got != want {
+			t.Errorf("seed %d engine=%v mode=%v -O%s p=%d: generous budget changed the result",
+				c.Seed, cb.engine, cb.mode, optName(opt), p)
+		}
+		if !reflect.DeepEqual(res.Fixpoints, base[cb].Fixpoints) {
+			t.Errorf("seed %d engine=%v mode=%v -O%s p=%d: generous budget changed fixpoint stats:\n base: %+v\n got: %+v",
+				c.Seed, cb.engine, cb.mode, optName(opt), p, base[cb].Fixpoints, res.Fixpoints)
+		}
+	})
+
+	// checkTrip runs a budget expected to trip across the full grid and
+	// asserts: typed code, one identical message everywhere, and a non-nil
+	// partial Result.
+	checkTrip := func(name string, code xdm.ErrCode, set func(*ifpxq.Options)) {
+		var wantMsg string
+		forGrid(func(cb combo, opt ifpxq.OptLevel, p int, opts ifpxq.Options) {
+			set(&opts)
+			res, err := q.Eval(opts)
+			if err == nil {
+				t.Errorf("seed %d engine=%v mode=%v -O%s p=%d: %s budget did not trip",
+					c.Seed, cb.engine, cb.mode, optName(opt), p, name)
+				return
+			}
+			if got := xdm.CodeOf(err); got != code {
+				t.Errorf("seed %d engine=%v mode=%v -O%s p=%d: %s budget tripped with code %s, want %s (err: %v)",
+					c.Seed, cb.engine, cb.mode, optName(opt), p, name, got, code, err)
+				return
+			}
+			if wantMsg == "" {
+				wantMsg = err.Error()
+			} else if err.Error() != wantMsg {
+				t.Errorf("seed %d engine=%v mode=%v -O%s p=%d: %s truncation message diverges:\n got: %q\nwant: %q",
+					c.Seed, cb.engine, cb.mode, optName(opt), p, name, err.Error(), wantMsg)
+			}
+			if res == nil {
+				t.Errorf("seed %d engine=%v mode=%v -O%s p=%d: %s truncation returned a nil partial Result",
+					c.Seed, cb.engine, cb.mode, optName(opt), p, name)
+			}
+		})
+	}
+
+	// 2. An already-expired deadline fails identically everywhere (the
+	// entry check guarantees no engine runs a single operator first).
+	checkTrip("deadline", xdm.ErrDeadline, func(o *ifpxq.Options) {
+		o.Deadline = time.Now().Add(-time.Second)
+	})
+
+	// 3+4. Round and row budgets: only on cases whose trip point is
+	// engine-independent (see doc comment).
+	ref := base[combos[0]].Fixpoints
+	gated := len(ref) == 1 && ref[0].Executions == 1
+	for _, cb := range combos[1:] {
+		fps := base[cb].Fixpoints
+		gated = gated && len(fps) == 1 && fps[0].Executions == 1 &&
+			fps[0].Stats.Depth == ref[0].Stats.Depth &&
+			fps[0].Stats.ResultSize == ref[0].Stats.ResultSize
+	}
+	if gated && ref[0].Stats.Depth >= 2 {
+		// Every cell runs at least Depth post-seed rounds (0-based), so a
+		// budget of 1 round trips at round 1 in all of them.
+		checkTrip("rounds", xdm.ErrRounds, func(o *ifpxq.Options) {
+			o.MaxRounds = 1
+		})
+	}
+	if gated && ref[0].Stats.ResultSize >= 2 {
+		// Every cell charges at least ResultSize rows cumulatively (the
+		// Delta interpreter is the floor: seed plus each round's growth,
+		// each result row exactly once), so one row short trips them all.
+		checkTrip("rows", xdm.ErrRows, func(o *ifpxq.Options) {
+			o.MaxRows = int64(ref[0].Stats.ResultSize) - 1
+		})
+	}
+}

@@ -16,6 +16,19 @@ func TestDifferentialSeeds(t *testing.T) {
 	}
 }
 
+// TestBudgetSeeds runs the resource-budget differential contract over a
+// fixed seed block: budgets that are not hit must be invisible in every
+// configuration, and budgets that are hit must truncate with the same
+// typed error everywhere.
+func TestBudgetSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 24; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			CheckBudgets(t, Generate(seed))
+		})
+	}
+}
+
 // TestGenerateDeterministic guards the harness itself: a seed must map to
 // one case, or failures would not reproduce.
 func TestGenerateDeterministic(t *testing.T) {

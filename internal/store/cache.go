@@ -195,6 +195,26 @@ func (c *Cache) evictLocked() {
 	}
 }
 
+// Purge drops every unpinned resident document, counting them as
+// evictions. Documents still pinned by live sessions stay resident until
+// their pins release; graceful shutdown calls Purge after draining, so in
+// practice everything goes.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for e := c.head.prev; e != &c.head; {
+		victim := e
+		e = e.prev
+		if victim.pins > 0 {
+			continue
+		}
+		c.unlink(victim)
+		delete(c.entries, victim.uri)
+		c.bytes -= victim.bytes
+		c.evictions++
+	}
+}
+
 // Contains reports whether uri is resident (no pin, no LRU touch).
 func (c *Cache) Contains(uri string) bool {
 	c.mu.Lock()

@@ -65,6 +65,15 @@ func (s *Store) Cache() *Cache { return s.cache }
 // the engines' DocResolver and Close it when the query completes.
 func (s *Store) Session() *Session { return s.cache.Session() }
 
+// Close releases the store's resources: the document cache is purged of
+// everything not pinned by a still-live session. Mmap-backed documents
+// keep their mappings (see mmap.go — unmapping is never provably safe
+// while zero-copy views may exist); Close is about returning heap to the
+// collector on graceful shutdown, not about file handles.
+func (s *Store) Close() {
+	s.cache.Purge()
+}
+
 // SnapshotPath returns the snapshot path that serves uri.
 func (s *Store) SnapshotPath(uri string) (string, error) {
 	clean, err := s.safeJoin(uri)

@@ -1,0 +1,142 @@
+package xdm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewBudgetNilWhenUnbounded(t *testing.T) {
+	if b := NewBudget(time.Time{}, 0, 0); b != nil {
+		t.Fatalf("unbounded budget = %+v, want nil", b)
+	}
+	if b := NewBudget(time.Time{}, -1, -5); b != nil {
+		t.Fatalf("negative limits should mean unbounded, got %+v", b)
+	}
+	if NewBudget(time.Now(), 0, 0) == nil {
+		t.Fatal("deadline-only budget is nil")
+	}
+	if NewBudget(time.Time{}, 3, 0) == nil {
+		t.Fatal("rounds-only budget is nil")
+	}
+	if NewBudget(time.Time{}, 0, 7) == nil {
+		t.Fatal("rows-only budget is nil")
+	}
+}
+
+func TestNilBudgetEnforcesNothing(t *testing.T) {
+	var b *Budget
+	if err := b.CheckDeadline(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckRound(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.ChargeRows(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if n := b.RowsCharged(); n != 0 {
+		t.Fatalf("RowsCharged on nil = %d", n)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	b := NewBudget(time.Now().Add(time.Hour), 0, 0)
+	if err := b.CheckDeadline(); err != nil {
+		t.Fatalf("future deadline tripped: %v", err)
+	}
+	b = NewBudget(time.Now().Add(-time.Millisecond), 0, 0)
+	err := b.CheckDeadline()
+	if err == nil {
+		t.Fatal("expired deadline did not trip")
+	}
+	if CodeOf(err) != ErrDeadline || !IsBudget(err) {
+		t.Fatalf("deadline error code = %v", CodeOf(err))
+	}
+	// The message embeds no elapsed time: it must be identical wherever
+	// the deadline trips.
+	if got, want := err.Error(), "[IFPX0002] evaluation deadline exceeded"; got != want {
+		t.Fatalf("message %q, want %q", got, want)
+	}
+}
+
+func TestCheckRound(t *testing.T) {
+	b := NewBudget(time.Time{}, 3, 0)
+	for round := 0; round < 3; round++ {
+		if err := b.CheckRound(round); err != nil {
+			t.Fatalf("round %d tripped a budget of 3: %v", round, err)
+		}
+	}
+	err := b.CheckRound(3)
+	if err == nil {
+		t.Fatal("round 3 within budget of 3")
+	}
+	if CodeOf(err) != ErrRounds || !IsBudget(err) {
+		t.Fatalf("rounds error code = %v", CodeOf(err))
+	}
+	if got, want := err.Error(), "[IFPX0003] fixpoint round budget of 3 rounds exhausted"; got != want {
+		t.Fatalf("message %q, want %q", got, want)
+	}
+}
+
+func TestChargeRows(t *testing.T) {
+	b := NewBudget(time.Time{}, 0, 10)
+	if err := b.ChargeRows(10); err != nil {
+		t.Fatalf("charge to exactly the limit tripped: %v", err)
+	}
+	err := b.ChargeRows(1)
+	if err == nil {
+		t.Fatal("charge past the limit did not trip")
+	}
+	if CodeOf(err) != ErrRows || !IsBudget(err) {
+		t.Fatalf("rows error code = %v", CodeOf(err))
+	}
+	if got, want := err.Error(), "[IFPX0004] row budget of 10 rows exhausted"; got != want {
+		t.Fatalf("message %q, want %q", got, want)
+	}
+	if n := b.RowsCharged(); n != 11 {
+		t.Fatalf("RowsCharged = %d, want 11", n)
+	}
+}
+
+func TestChargeRowsConcurrent(t *testing.T) {
+	b := NewBudget(time.Time{}, 0, 1000)
+	var wg sync.WaitGroup
+	tripped := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := b.ChargeRows(1); err != nil {
+					tripped <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(tripped)
+	if len(tripped) == 0 {
+		t.Fatal("1600 concurrent charges never tripped a budget of 1000")
+	}
+	for err := range tripped {
+		if CodeOf(err) != ErrRows {
+			t.Fatalf("concurrent trip code = %v", CodeOf(err))
+		}
+	}
+}
+
+func TestIsBudget(t *testing.T) {
+	if IsBudget(NewError(ErrIFP, "x")) {
+		t.Fatal("IFP convergence error classified as budget")
+	}
+	if IsBudget(nil) {
+		t.Fatal("nil classified as budget")
+	}
+	for _, code := range []ErrCode{ErrDeadline, ErrRounds, ErrRows} {
+		if !IsBudget(NewError(code, "x")) {
+			t.Fatalf("%v not classified as budget", code)
+		}
+	}
+}

@@ -19,7 +19,28 @@ const (
 	ErrIFP      ErrCode = "IFPX0001" // inflationary fixed point diverged / misuse
 	ErrSyntax   ErrCode = "XPST0003" // grammar error
 	ErrCard     ErrCode = "XPTY0005" // cardinality violation
+
+	// Resource-budget codes: evaluation was cut off by a caller-imposed
+	// limit, not by a defect in the query. The µ/µ∆ operators deliberately
+	// admit unbounded recursion — termination and cost are the user's
+	// problem — so a serving layer needs typed, machine-checkable ways to
+	// say "this request exceeded its allowance" (see Budget).
+	ErrDeadline ErrCode = "IFPX0002" // evaluation deadline exceeded
+	ErrRounds   ErrCode = "IFPX0003" // fixpoint round budget exhausted
+	ErrRows     ErrCode = "IFPX0004" // row-materialization budget exhausted
 )
+
+// IsBudget reports whether err is a resource-budget truncation: the
+// evaluation was cut off by a deadline, round, or row budget rather than
+// failing on its own terms. Budget errors unwind with partial fixpoint
+// statistics, so servers can report how far a shed query got.
+func IsBudget(err error) bool {
+	switch CodeOf(err) {
+	case ErrDeadline, ErrRounds, ErrRows:
+		return true
+	}
+	return false
+}
 
 // Error is an XQuery evaluation or analysis error carrying a W3C-style code.
 type Error struct {

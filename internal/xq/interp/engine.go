@@ -58,6 +58,13 @@ type Options struct {
 	Parallelism int
 	// Context, when non-nil, cancels fixpoint computations between rounds.
 	Context context.Context
+	// Budget, when non-nil, bounds the evaluation: fixpoint drivers check
+	// the deadline and round budget between rounds and charge feeds and
+	// growth against the row budget (through internal/core), and the tree
+	// evaluator polls the deadline on a sampled counter so long
+	// non-recursive evaluations are also cut off. Budget errors unwind with
+	// the partial IFPRuns collected so far.
+	Budget *xdm.Budget
 }
 
 // IFPRun reports one (aggregated) fixpoint site's execution: which
@@ -119,7 +126,10 @@ func (en *Engine) Doc(uri string) (*xdm.Document, error) {
 func (en *Engine) AddDoc(uri string, d *xdm.Document) { en.docCache[uri] = d }
 
 // Eval evaluates the module body and returns the result sequence along
-// with fixpoint instrumentation.
+// with fixpoint instrumentation. On a resource-budget truncation
+// (xdm.IsBudget) the returned Result is non-nil with a nil Value and the
+// partial IFPRuns collected before the cutoff, so servers can report how
+// far a shed query got; every other error returns a nil Result.
 func (en *Engine) Eval() (*Result, error) {
 	ev := &evaluator{
 		engine:  en,
@@ -137,7 +147,7 @@ func (en *Engine) Eval() (*Result, error) {
 	for _, v := range en.module.Vars {
 		val, err := ev.eval(v.Value, genv, ctx)
 		if err != nil {
-			return nil, err
+			return ev.partialResult(err), err
 		}
 		ev.globals[v.Name] = val
 		genv = genv.bind(v.Name, val)
@@ -145,15 +155,30 @@ func (en *Engine) Eval() (*Result, error) {
 	ev.globalEnv = genv
 	val, err := ev.eval(en.module.Body, genv, ctx)
 	if err != nil {
-		return nil, err
+		return ev.partialResult(err), err
 	}
-	res := &Result{Value: val}
-	for fp, run := range ev.ifpAgg {
-		_ = fp
-		res.IFPRuns = append(res.IFPRuns, *run)
-	}
-	sort.Slice(res.IFPRuns, func(i, j int) bool { return res.IFPRuns[i].Var < res.IFPRuns[j].Var })
+	res := &Result{Value: val, IFPRuns: ev.runs()}
 	return res, nil
+}
+
+// runs snapshots the per-site fixpoint instrumentation in a deterministic
+// order.
+func (ev *evaluator) runs() []IFPRun {
+	var out []IFPRun
+	for _, run := range ev.ifpAgg {
+		out = append(out, *run)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Var < out[j].Var })
+	return out
+}
+
+// partialResult packages the instrumentation collected before a budget
+// cutoff; non-budget errors keep the nil-Result contract.
+func (ev *evaluator) partialResult(err error) *Result {
+	if !xdm.IsBudget(err) {
+		return nil
+	}
+	return &Result{IFPRuns: ev.runs()}
 }
 
 // EvalString is a convenience that parses and evaluates in one step.

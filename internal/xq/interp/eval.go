@@ -42,9 +42,20 @@ type evaluator struct {
 	globalEnv *env
 	callDepth int
 	ifpAgg    map[*ast.Fixpoint]*IFPRun
+	// evalTick samples the budget deadline check: one time.Now() per
+	// 1024 eval calls keeps long non-fixpoint evaluations bounded without
+	// a clock read in the hot path.
+	evalTick uint
 }
 
 func (ev *evaluator) eval(e ast.Expr, en *env, ctx dynCtx) (xdm.Sequence, error) {
+	if b := ev.engine.opts.Budget; b != nil {
+		if ev.evalTick++; ev.evalTick&1023 == 0 {
+			if err := b.CheckDeadline(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	switch n := e.(type) {
 	case *ast.Literal:
 		switch n.Kind {
@@ -609,11 +620,12 @@ func (ev *evaluator) evalFixpoint(n *ast.Fixpoint, en *env, ctx dynCtx) (xdm.Seq
 		MaxIterations: ev.engine.opts.MaxIterations,
 		Parallelism:   ev.engine.opts.Parallelism,
 		Context:       ev.engine.opts.Context,
+		Budget:        ev.engine.opts.Budget,
 	})
+	run.Executions++
+	run.Stats.Add(stats)
 	if err != nil {
 		return nil, err
 	}
-	run.Executions++
-	run.Stats.Add(stats)
 	return val, nil
 }

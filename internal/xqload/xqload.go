@@ -1,0 +1,338 @@
+// Package xqload is an open-loop HTTP load generator for xqd. Open-loop
+// means arrivals follow a fixed schedule regardless of completions — the
+// generator does not slow down when the server does — which is the only
+// load model that exposes overload behaviour: a closed loop self-throttles
+// and makes any server look stable. Each run offers a weighted mix of
+// query classes at a fixed rate for a fixed duration and reports goodput
+// (completed 200s per second), shed/rejected/error counts, and
+// nearest-rank latency percentiles over the successful requests.
+package xqload
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Class is one kind of query in the offered mix.
+type Class struct {
+	Name  string
+	Query string
+	// Extra is appended verbatim to the /query parameters, e.g.
+	// "engine=rel" or "timeout_ms=500".
+	Extra string
+	// Weight is the class's share of the mix (relative to the sum of all
+	// weights; minimum 1).
+	Weight int
+}
+
+// Options configure a load run.
+type Options struct {
+	// BaseURL is the xqd server root, e.g. "http://127.0.0.1:8090".
+	BaseURL string
+	// Rate is the offered arrival rate in requests per second.
+	Rate float64
+	// Duration is how long arrivals are generated (completions may land
+	// after it; the run waits for them).
+	Duration time.Duration
+	// Timeout bounds each HTTP request client-side (0 = 30s). It should
+	// exceed the server's queue + query deadlines so client timeouts
+	// measure server stalls, not impatience.
+	Timeout time.Duration
+	// Classes is the offered query mix (required, non-empty).
+	Classes []Class
+	// Client overrides the HTTP client (tests inject the httptest client).
+	Client *http.Client
+}
+
+// Counts classifies request outcomes by response status.
+type Counts struct {
+	Sent      int64 `json:"sent"`
+	OK        int64 `json:"ok"`         // 200
+	Shed      int64 `json:"shed"`       // 429 (admission shed or queue timeout)
+	Truncated int64 `json:"truncated"`  // 422 with a budget code (resource cutoff)
+	Rejected  int64 `json:"rejected"`   // other 4xx
+	ServerErr int64 `json:"server_err"` // any 5xx — overload must keep this at zero
+	Timeout   int64 `json:"timeout"`    // client-side timeout or cancelled request
+	Transport int64 `json:"transport"`  // connection-level failures
+}
+
+func (c *Counts) add(o outcome) {
+	c.Sent++
+	switch o {
+	case outOK:
+		c.OK++
+	case outShed:
+		c.Shed++
+	case outTruncated:
+		c.Truncated++
+	case outRejected:
+		c.Rejected++
+	case outServerErr:
+		c.ServerErr++
+	case outTimeout:
+		c.Timeout++
+	case outTransport:
+		c.Transport++
+	}
+}
+
+// Latencies are nearest-rank percentiles, in milliseconds, over the
+// successful (200) requests only: shed and truncated requests are fast by
+// design and would flatter the tail.
+type Latencies struct {
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// ClassReport is the per-class slice of a report.
+type ClassReport struct {
+	Name string `json:"name"`
+	Counts
+	Latencies
+}
+
+// Report is one load run's outcome.
+type Report struct {
+	OfferedQPS float64       `json:"offered_qps"`
+	Duration   time.Duration `json:"duration_ns"`
+	Counts
+	Latencies
+	// GoodputQPS is completed 200s per second of offered duration — the
+	// overload metric: it should plateau near capacity as offered load
+	// passes it, not collapse.
+	GoodputQPS float64       `json:"goodput_qps"`
+	RetryAfter int64         `json:"retry_after"` // 429s carrying a Retry-After header
+	Classes    []ClassReport `json:"classes"`
+}
+
+type outcome int
+
+const (
+	outOK outcome = iota
+	outShed
+	outTruncated
+	outRejected
+	outServerErr
+	outTimeout
+	outTransport
+)
+
+// recorder accumulates outcomes from the in-flight request goroutines.
+type recorder struct {
+	mu         sync.Mutex
+	total      Counts
+	retryAfter int64
+	perClass   map[string]*classAcc
+}
+
+type classAcc struct {
+	counts Counts
+	okMs   []float64
+}
+
+func (rec *recorder) record(class string, o outcome, latency time.Duration, retryAfter bool) {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.total.add(o)
+	if retryAfter {
+		rec.retryAfter++
+	}
+	acc := rec.perClass[class]
+	if acc == nil {
+		acc = &classAcc{}
+		rec.perClass[class] = acc
+	}
+	acc.counts.add(o)
+	if o == outOK {
+		acc.okMs = append(acc.okMs, float64(latency.Nanoseconds())/1e6)
+	}
+}
+
+// Run executes one open-loop load run and blocks until every in-flight
+// request has completed or failed.
+func Run(ctx context.Context, o Options) (*Report, error) {
+	if o.BaseURL == "" {
+		return nil, fmt.Errorf("xqload: BaseURL is required")
+	}
+	if o.Rate <= 0 {
+		return nil, fmt.Errorf("xqload: Rate must be > 0 (got %g)", o.Rate)
+	}
+	if o.Duration <= 0 {
+		return nil, fmt.Errorf("xqload: Duration must be > 0 (got %s)", o.Duration)
+	}
+	if len(o.Classes) == 0 {
+		return nil, fmt.Errorf("xqload: at least one Class is required")
+	}
+	client := o.Client
+	if client == nil {
+		timeout := o.Timeout
+		if timeout == 0 {
+			timeout = 30 * time.Second
+		}
+		client = &http.Client{Timeout: timeout}
+	}
+
+	// Deterministic weighted schedule: expand the mix into a repeating
+	// pick sequence so every run at the same rate offers the same
+	// arrival-by-arrival class order.
+	var picks []*Class
+	for i := range o.Classes {
+		c := &o.Classes[i]
+		w := c.Weight
+		if w < 1 {
+			w = 1
+		}
+		for j := 0; j < w; j++ {
+			picks = append(picks, c)
+		}
+	}
+	urls := make(map[*Class]string, len(o.Classes))
+	for i := range o.Classes {
+		c := &o.Classes[i]
+		u := o.BaseURL + "/query?q=" + url.QueryEscape(c.Query)
+		if c.Extra != "" {
+			u += "&" + c.Extra
+		}
+		urls[c] = u
+	}
+
+	rec := &recorder{perClass: make(map[string]*classAcc, len(o.Classes))}
+
+	// Arrivals follow an absolute schedule (arrival n fires at
+	// start + n/Rate) rather than a ticker: a ticker coalesces missed
+	// ticks, silently lowering the offered rate exactly when the machine
+	// is busy — the generator instead catches up by firing late arrivals
+	// immediately, keeping the offered count faithful.
+	var wg sync.WaitGroup
+	start := time.Now()
+	end := start.Add(o.Duration)
+arrivals:
+	for n := 0; ; n++ {
+		next := start.Add(time.Duration(float64(n) / o.Rate * float64(time.Second)))
+		if next.After(end) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-ctx.Done():
+				break arrivals
+			case <-time.After(d):
+			}
+		} else if ctx.Err() != nil {
+			break
+		}
+		cls := picks[n%len(picks)]
+		wg.Add(1)
+		// Open loop: fire and move on. The goroutine count is bounded by
+		// the server shedding, not by the generator waiting.
+		go func() {
+			defer wg.Done()
+			out, lat, ra := doRequest(ctx, client, urls[cls])
+			rec.record(cls.Name, out, lat, ra)
+		}()
+	}
+	wg.Wait()
+
+	return rec.report(o), nil
+}
+
+func doRequest(ctx context.Context, client *http.Client, u string) (outcome, time.Duration, bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return outTransport, 0, false
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil || isTimeout(err) {
+			return outTimeout, time.Since(start), false
+		}
+		return outTransport, time.Since(start), false
+	}
+	// Latency includes draining the body: a 200 is not "done" until the
+	// result has actually been delivered.
+	_, copyErr := io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	lat := time.Since(start)
+	if copyErr != nil {
+		if ctx.Err() != nil || isTimeout(copyErr) {
+			return outTimeout, lat, false
+		}
+		return outTransport, lat, false
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return outOK, lat, false
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return outShed, lat, resp.Header.Get("Retry-After") != ""
+	case resp.StatusCode == http.StatusUnprocessableEntity:
+		return outTruncated, lat, false
+	case resp.StatusCode >= 500:
+		return outServerErr, lat, false
+	default:
+		return outRejected, lat, false
+	}
+}
+
+func isTimeout(err error) bool {
+	t, ok := err.(interface{ Timeout() bool })
+	return ok && t.Timeout()
+}
+
+func (rec *recorder) report(o Options) *Report {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	r := &Report{
+		OfferedQPS: o.Rate,
+		Duration:   o.Duration,
+		Counts:     rec.total,
+		RetryAfter: rec.retryAfter,
+		GoodputQPS: float64(rec.total.OK) / o.Duration.Seconds(),
+	}
+	var allMs []float64
+	for i := range o.Classes {
+		name := o.Classes[i].Name
+		acc := rec.perClass[name]
+		if acc == nil {
+			continue
+		}
+		cr := ClassReport{Name: name, Counts: acc.counts, Latencies: percentiles(acc.okMs)}
+		r.Classes = append(r.Classes, cr)
+		allMs = append(allMs, acc.okMs...)
+	}
+	r.Latencies = percentiles(allMs)
+	return r
+}
+
+// percentiles computes nearest-rank percentiles; ms is consumed (sorted).
+func percentiles(ms []float64) Latencies {
+	if len(ms) == 0 {
+		return Latencies{}
+	}
+	sort.Float64s(ms)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p/100*float64(len(ms)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ms) {
+			i = len(ms) - 1
+		}
+		return ms[i]
+	}
+	return Latencies{
+		P50Ms: rank(50),
+		P95Ms: rank(95),
+		P99Ms: rank(99),
+		MaxMs: ms[len(ms)-1],
+	}
+}

@@ -1,0 +1,119 @@
+package xqload
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPercentilesNearestRank(t *testing.T) {
+	l := percentiles([]float64{5, 1, 4, 2, 3, 6, 7, 8, 9, 10})
+	if l.P50Ms != 5 {
+		t.Errorf("p50 = %v, want 5", l.P50Ms)
+	}
+	if l.P95Ms != 10 {
+		t.Errorf("p95 = %v, want 10", l.P95Ms)
+	}
+	if l.P99Ms != 10 {
+		t.Errorf("p99 = %v, want 10", l.P99Ms)
+	}
+	if l.MaxMs != 10 {
+		t.Errorf("max = %v, want 10", l.MaxMs)
+	}
+	if one := percentiles([]float64{7}); one.P50Ms != 7 || one.P99Ms != 7 {
+		t.Errorf("single-sample percentiles = %+v", one)
+	}
+	if empty := percentiles(nil); empty != (Latencies{}) {
+		t.Errorf("empty percentiles = %+v", empty)
+	}
+}
+
+func TestRunClassifiesOutcomes(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		switch {
+		case strings.Contains(q, "shedme"):
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case strings.Contains(q, "truncateme"):
+			w.WriteHeader(http.StatusUnprocessableEntity)
+		case strings.Contains(q, "breakme"):
+			w.WriteHeader(http.StatusInternalServerError)
+		default:
+			w.Write([]byte(`{"result":"1"}`))
+		}
+	}))
+	defer hs.Close()
+
+	report, err := Run(context.Background(), Options{
+		BaseURL:  hs.URL,
+		Rate:     400,
+		Duration: 250 * time.Millisecond,
+		Client:   hs.Client(),
+		Classes: []Class{
+			{Name: "ok", Query: "1", Weight: 2},
+			{Name: "shed", Query: "shedme", Weight: 1},
+			{Name: "trunc", Query: "truncateme", Weight: 1},
+			{Name: "boom", Query: "breakme", Weight: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sent < 50 {
+		t.Fatalf("only %d arrivals in 250ms at 400/s", report.Sent)
+	}
+	if got := report.OK + report.Shed + report.Truncated + report.ServerErr + report.Rejected + report.Timeout + report.Transport; got != report.Sent {
+		t.Fatalf("outcomes %d do not add up to sent %d", got, report.Sent)
+	}
+	if report.OK == 0 || report.Shed == 0 || report.Truncated == 0 || report.ServerErr == 0 {
+		t.Fatalf("class outcomes missing: %+v", report.Counts)
+	}
+	if report.RetryAfter != report.Shed {
+		t.Fatalf("RetryAfter %d != Shed %d", report.RetryAfter, report.Shed)
+	}
+	if len(report.Classes) != 4 {
+		t.Fatalf("%d class reports, want 4", len(report.Classes))
+	}
+	for _, c := range report.Classes {
+		switch c.Name {
+		case "ok":
+			if c.OK != c.Sent || c.P50Ms <= 0 {
+				t.Errorf("ok class: %+v", c)
+			}
+		case "shed":
+			if c.Shed != c.Sent {
+				t.Errorf("shed class: %+v", c)
+			}
+		case "trunc":
+			if c.Truncated != c.Sent {
+				t.Errorf("trunc class: %+v", c)
+			}
+		case "boom":
+			if c.ServerErr != c.Sent {
+				t.Errorf("boom class: %+v", c)
+			}
+		}
+	}
+	// The weighted mix must hold approximately: "ok" has half the weight.
+	okSent := report.Classes[0].Sent
+	if okSent < report.Sent/3 {
+		t.Errorf("weight-2 class got %d of %d arrivals", okSent, report.Sent)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	for _, o := range []Options{
+		{},
+		{BaseURL: "http://x", Rate: 0, Duration: time.Second, Classes: []Class{{Name: "a", Query: "1"}}},
+		{BaseURL: "http://x", Rate: 1, Duration: 0, Classes: []Class{{Name: "a", Query: "1"}}},
+		{BaseURL: "http://x", Rate: 1, Duration: time.Second},
+	} {
+		if _, err := Run(context.Background(), o); err == nil {
+			t.Errorf("Run(%+v) accepted invalid options", o)
+		}
+	}
+}
