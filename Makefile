@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-store bench-parallel bench-opt bench-check bench-baseline cover fmt-check fuzz explain explain-update vet ci clean loadsmoke
+.PHONY: all build test bench bench-json bench-store bench-parallel bench-opt bench-check bench-baseline cover fmt-check fuzz explain explain-update vet ci clean loadsmoke obs-check
 
 all: build test
 
@@ -48,17 +48,26 @@ cover:
 loadsmoke:
 	$(GO) test -race -run TestLoadSmoke -count=1 -v ./cmd/xqd
 
+# Observability gate: over the differential seed block, every engine ×
+# mode × optimizer level × worker count configuration is evaluated with
+# tracing off and with a live span recorder attached, and the two runs
+# must agree byte for byte on results, errors, and fixpoint statistics.
+# Proves the obs layer is read-only instrumentation, never a participant.
+obs-check:
+	$(GO) test -run 'TestTracingParity' -count=1 ./internal/difftest
+
 # What CI runs (see .github/workflows/ci.yml). The -race pass covers the
 # concurrent store/xqd tests and the parallel fixpoint pools; the plain
 # pass runs the differential-harness seed block (internal/difftest); the
 # coverage step enforces the internal/algebra floor; loadsmoke gates the
-# overload/degradation contract.
+# overload/degradation contract; obs-check gates tracing-on/off parity.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz FUZZTIME=10s
 	$(MAKE) cover
+	$(MAKE) obs-check
 	$(MAKE) loadsmoke
 
 # Differential fuzzing: random documents + random fixpoint queries, every

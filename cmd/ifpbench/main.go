@@ -305,6 +305,7 @@ func measureExperiment(e bench.Experiment, cfg measureConfig) ([]BenchEntry, err
 						AllocsOp: res.AllocsPerOp(),
 						NodesFed: meas.Stats.NodesFedBack,
 						Depth:    meas.Stats.Depth,
+						PhaseNs:  meas.Phases,
 					})
 				}
 			}

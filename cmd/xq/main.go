@@ -45,6 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallel   = fs.Int("p", 0, "fixpoint worker-pool width (0 = GOMAXPROCS, 1 = sequential)")
 		optLevel   = fs.Int("O", 1, "relational plan optimizer level: 0 = verbatim plan, 1 = rewrite rules on")
 		explain    = fs.Bool("explain", false, "print the relational plans (raw and, at -O1, optimized) instead of evaluating")
+		analyze    = fs.Bool("analyze", false, "EXPLAIN ANALYZE: run the query and print phases, the plan annotated with actuals, and per-round fixpoint spans")
 		stats      = fs.Bool("stats", false, "print fixpoint instrumentation")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -124,6 +125,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.Mode = ifpxq.ModeDelta
 	default:
 		return fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	if *analyze {
+		rep, err := q.Analyze(opts)
+		if err != nil {
+			if rep == nil {
+				return fatal(err)
+			}
+			// Budget truncation: print the partial report, then the error.
+			fmt.Fprint(stdout, rep.Render())
+			return fatal(err)
+		}
+		fmt.Fprint(stdout, rep.Render())
+		return 0
 	}
 
 	res, err := q.Eval(opts)

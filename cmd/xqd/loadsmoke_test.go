@@ -34,10 +34,11 @@ func TestLoadSmoke(t *testing.T) {
 	})
 
 	report, err := xqload.Run(context.Background(), xqload.Options{
-		BaseURL:  hs.URL,
-		Rate:     150,
-		Duration: 5 * time.Second,
-		Client:   &http.Client{Timeout: 10 * time.Second},
+		BaseURL:    hs.URL,
+		MetricsURL: hs.URL + "/metrics",
+		Rate:       150,
+		Duration:   5 * time.Second,
+		Client:     &http.Client{Timeout: 10 * time.Second},
 		Classes: []xqload.Class{
 			{Name: "scan", Query: `count(doc("curriculum.xml")//*)`, Weight: 5},
 			{Name: "fixpoint", Query: fixpointQuery, Weight: 2},
@@ -77,5 +78,31 @@ func TestLoadSmoke(t *testing.T) {
 	}
 	if st := srv.ctrl.Stats(); st.InFlight != 0 || st.Waiting != 0 {
 		t.Errorf("admission not drained after the burst: %+v", st)
+	}
+
+	// The /metrics scrape deltas must agree with the client-side outcome
+	// taxonomy: the generator was the server's only client, so each client
+	// count has exactly one server-side decomposition.
+	if len(report.Server) == 0 {
+		t.Fatal("no server-side /metrics deltas in the report")
+	}
+	d := func(series string) int64 { return int64(report.Server[series]) }
+	if ok := d(`xqd_queries_total{outcome="ok"}`); ok != report.OK {
+		t.Errorf("server counted %d ok queries, client saw %d", ok, report.OK)
+	}
+	// Client "shed" is any 429: immediate sheds plus queue timeouts.
+	if shed := d(`xqd_queries_total{outcome="shed"}`) + d(`xqd_queries_total{outcome="queue_timeout"}`); shed != report.Shed {
+		t.Errorf("server counted %d shed+queue_timeout, client saw %d 429s", shed, report.Shed)
+	}
+	// Client "truncated" is any 422: budget truncations plus (rare)
+	// non-budget evaluation errors such as the context-deadline backstop.
+	if tr := d(`xqd_queries_total{outcome="truncated"}`) + d(`xqd_queries_total{outcome="error"}`); tr != report.Truncated {
+		t.Errorf("server counted %d truncated+error, client saw %d 422s", tr, report.Truncated)
+	}
+	if trunc := d(`xqd_budget_truncations_total{code="IFPX0002"}`); trunc == 0 {
+		t.Error("runaway class never tripped the deadline budget in /metrics")
+	}
+	if qw := d("xqd_queue_wait_seconds_count"); qw != report.Sent {
+		t.Errorf("queue-wait histogram observed %d requests, client sent %d", qw, report.Sent)
 	}
 }

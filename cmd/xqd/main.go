@@ -47,17 +47,20 @@ import (
 	"io"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	ifpxq "repro"
 	"repro/internal/admission"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/store"
 	"repro/internal/xdm"
@@ -92,6 +95,8 @@ func main() {
 		maxRows      = flag.Int64("max-rows", 0, "per-query row-materialization budget (0 = unbounded)")
 		maxRounds    = flag.Int("max-rounds", 0, "per-query fixpoint round budget (0 = engine default cap)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight queries")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (separate listener, never the public one; empty = off)")
+		logRequests  = flag.Bool("log-requests", true, "log one structured line per /query request")
 	)
 	flag.Parse()
 	if *storeDir == "" {
@@ -115,6 +120,7 @@ func main() {
 	srv := newServer(st)
 	srv.parallelism = *parallel
 	srv.opt0 = *optLevel == 0
+	srv.logRequests = *logRequests
 	srv.queryTimeout = *queryTimeout
 	srv.maxBody = *maxBody
 	srv.maxRows = *maxRows
@@ -150,6 +156,17 @@ func main() {
 
 	log.Printf("xqd: serving store %s on %s (mmap=%v, p=%d, O=%d, capacity=%d, queue=%d, query-timeout=%s)",
 		*storeDir, *addr, *mmap, *parallel, *optLevel, capacity, *queueLimit, *queryTimeout)
+
+	if *debugAddr != "" {
+		// pprof lives on its own listener so profiling endpoints are never
+		// reachable through the public address.
+		go func() {
+			log.Printf("xqd: pprof on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("xqd: debug listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -194,11 +211,111 @@ type server struct {
 	maxRows      int64
 	maxRounds    int
 	started      time.Time
-	queries      atomic.Int64 // successfully answered queries
-	timeouts     atomic.Int64 // queries truncated by the deadline budget
-	panics       atomic.Int64 // handler panics recovered to 500s
+	countersMu   sync.Mutex
+	counters     serverCounters
 	draining     atomic.Bool
-	mux          *http.ServeMux
+	metrics      *serverMetrics
+	// logRequests emits one structured line per /query request through
+	// logf (injectable for tests; defaults to log.Printf).
+	logRequests bool
+	logf        func(format string, args ...any)
+	mux         *http.ServeMux
+}
+
+// serverCounters are the server-lifetime counters /stats reports. They live
+// behind one mutex and are snapshotted as a single struct read, so /stats
+// never reports a torn view (e.g. a timeout counted whose query is missing
+// from the total).
+type serverCounters struct {
+	Queries  int64 // successfully answered queries
+	Timeouts int64 // queries truncated by the deadline budget
+	Panics   int64 // handler panics recovered to 500s
+}
+
+func (s *server) count(f func(*serverCounters)) {
+	s.countersMu.Lock()
+	f(&s.counters)
+	s.countersMu.Unlock()
+}
+
+func (s *server) snapshot() serverCounters {
+	s.countersMu.Lock()
+	defer s.countersMu.Unlock()
+	return s.counters
+}
+
+// serverMetrics is the hand-rolled Prometheus plane: per-request counters
+// updated on the hot path, plus Func gauges/counters that read the
+// admission controller, the document cache, and the server counters at
+// scrape time so no state is tracked twice.
+type serverMetrics struct {
+	reg         *obs.Registry
+	queries     *obs.CounterVec   // xqd_queries_total{outcome}
+	truncations *obs.CounterVec   // xqd_budget_truncations_total{code}
+	queueWait   *obs.Histogram    // xqd_queue_wait_seconds
+	latency     *obs.HistogramVec // xqd_query_seconds{engine}
+	rounds      *obs.Counter      // xqd_fixpoint_rounds_total
+	rows        *obs.Counter      // xqd_result_rows_total
+}
+
+func newServerMetrics(s *server) *serverMetrics {
+	reg := obs.NewRegistry()
+	m := &serverMetrics{
+		reg:         reg,
+		queries:     reg.CounterVec("xqd_queries_total", "Queries by outcome (ok, truncated, not_found, error, parse_error, bad_request, shed, queue_timeout, body_too_large, cancelled).", "outcome"),
+		truncations: reg.CounterVec("xqd_budget_truncations_total", "Budget-truncated queries by typed error code.", "code"),
+		queueWait:   reg.Histogram("xqd_queue_wait_seconds", "Admission queue wait per request.", nil),
+		latency:     reg.HistogramVec("xqd_query_seconds", "Evaluation wall time per engine.", nil, "engine"),
+		rounds:      reg.Counter("xqd_fixpoint_rounds_total", "Fixpoint rounds executed across all queries (including truncated ones)."),
+		rows:        reg.Counter("xqd_result_rows_total", "Result items returned by successful queries."),
+	}
+	reg.GaugeFunc("xqd_uptime_seconds", "Seconds since server start (monotonic clock).", func() float64 {
+		return time.Since(s.started).Seconds()
+	})
+	reg.GaugeFunc("xqd_draining", "1 while the server drains for shutdown.", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	reg.CounterFunc("xqd_panics_total", "Handler panics recovered to 500s.", func() float64 {
+		return float64(s.snapshot().Panics)
+	})
+	admStat := func(pick func(admission.Stats) float64) func() float64 {
+		return func() float64 { return pick(s.ctrl.Stats()) }
+	}
+	reg.CounterFunc("xqd_admission_admitted_total", "Requests that got capacity.",
+		admStat(func(st admission.Stats) float64 { return float64(st.Admitted) }))
+	reg.CounterFunc("xqd_admission_queued_total", "Requests that waited before a verdict.",
+		admStat(func(st admission.Stats) float64 { return float64(st.Queued) }))
+	reg.CounterFunc("xqd_admission_shed_total", "Immediate rejections (wait queue full).",
+		admStat(func(st admission.Stats) float64 { return float64(st.Shed) }))
+	reg.CounterFunc("xqd_admission_timed_out_total", "Rejections after the queue deadline.",
+		admStat(func(st admission.Stats) float64 { return float64(st.TimedOut) }))
+	reg.CounterFunc("xqd_admission_cancelled_total", "Waiters whose context ended first.",
+		admStat(func(st admission.Stats) float64 { return float64(st.Cancelled) }))
+	reg.GaugeFunc("xqd_admission_in_flight", "Worker-slot weight currently admitted.",
+		admStat(func(st admission.Stats) float64 { return float64(st.InFlight) }))
+	reg.GaugeFunc("xqd_admission_waiting", "Current admission queue length.",
+		admStat(func(st admission.Stats) float64 { return float64(st.Waiting) }))
+	cacheStat := func(pick func(store.CacheStats) float64) func() float64 {
+		return func() float64 { return pick(s.store.Cache().Stats()) }
+	}
+	reg.CounterFunc("xqd_cache_hits_total", "Document cache hits.",
+		cacheStat(func(st store.CacheStats) float64 { return float64(st.Hits) }))
+	reg.CounterFunc("xqd_cache_misses_total", "Document cache misses.",
+		cacheStat(func(st store.CacheStats) float64 { return float64(st.Misses) }))
+	reg.CounterFunc("xqd_cache_evictions_total", "Documents dropped by LRU pressure.",
+		cacheStat(func(st store.CacheStats) float64 { return float64(st.Evictions) }))
+	reg.CounterFunc("xqd_cache_loads_total", "Loader calls (misses plus failures).",
+		cacheStat(func(st store.CacheStats) float64 { return float64(st.Loads) }))
+	reg.CounterFunc("xqd_cache_load_seconds_total", "Cumulative wall time inside the document loader.",
+		cacheStat(func(st store.CacheStats) float64 { return float64(st.LoadNs) / 1e9 }))
+	reg.GaugeFunc("xqd_cache_bytes", "Resident arena bytes.",
+		cacheStat(func(st store.CacheStats) float64 { return float64(st.Bytes) }))
+	reg.GaugeFunc("xqd_cache_docs", "Resident documents.",
+		cacheStat(func(st store.CacheStats) float64 { return float64(st.Docs) }))
+	return m
 }
 
 func newServer(st *store.Store) *server {
@@ -216,8 +333,11 @@ func newServer(st *store.Store) *server {
 		QueueLimit:   64,
 		QueueTimeout: 15 * time.Second,
 	})
+	s.logf = log.Printf
+	s.metrics = newServerMetrics(s)
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
 }
@@ -230,7 +350,7 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
-			s.panics.Add(1)
+			s.count(func(c *serverCounters) { c.Panics++ })
 			log.Printf("xqd: panic serving %s: %v\n%s", r.URL.Path, rec, debug.Stack())
 			writeErrorCode(w, http.StatusInternalServerError, codePanic,
 				fmt.Errorf("internal error (recovered panic)"))
@@ -252,6 +372,9 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // queryResponse is the /query JSON shape.
 type queryResponse struct {
+	// QueryID identifies this evaluation in the request log, the
+	// X-Query-ID header, and EXPLAIN ANALYZE output.
+	QueryID   string `json:"query_id,omitempty"`
 	Result    string `json:"result"`
 	Count     int    `json:"count"`
 	ElapsedUs int64  `json:"elapsed_us"`
@@ -260,6 +383,9 @@ type queryResponse struct {
 	// collapses to ~0: warm query latency excludes document load.
 	DocWaitUs int64          `json:"doc_wait_us"`
 	Fixpoints []fixpointJSON `json:"fixpoints,omitempty"`
+	// Analyze is the rendered EXPLAIN ANALYZE report when the request
+	// passed ?analyze=1.
+	Analyze string `json:"analyze,omitempty"`
 }
 
 type fixpointJSON struct {
@@ -287,32 +413,63 @@ func fixpointsJSON(fps []ifpxq.FixpointStats) []fixpointJSON {
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
-	Code  string `json:"code,omitempty"`
+	Error   string `json:"error"`
+	Code    string `json:"code,omitempty"`
+	QueryID string `json:"query_id,omitempty"`
 	// Fixpoints carries the partial instrumentation a budget-truncated
 	// query collected before it was cut off.
 	Fixpoints []fixpointJSON `json:"fixpoints,omitempty"`
+	// Analyze carries the partial EXPLAIN ANALYZE report of a
+	// budget-truncated ?analyze=1 request.
+	Analyze string `json:"analyze,omitempty"`
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	qid := obs.NextQueryID()
+	w.Header().Set("X-Query-ID", qid)
+	reqStart := time.Now()
+	// Outcome bookkeeping shared by the metrics plane and the request log;
+	// every return path sets outcome exactly once (via fail or the success
+	// tail) before the deferred accounting runs.
+	outcome, errCode, engLabel := "ok", "", "interp"
+	var rounds, rows int64
+	var queueWait, execDur time.Duration
+	defer func() {
+		s.metrics.queries.With(outcome).Inc()
+		if s.logRequests {
+			s.logf("xqd: query id=%s engine=%s outcome=%s code=%s rounds=%d rows=%d queue_wait_us=%d exec_us=%d total_us=%d",
+				qid, engLabel, outcome, errCode, rounds, rows,
+				queueWait.Microseconds(), execDur.Microseconds(),
+				time.Since(reqStart).Microseconds())
+		}
+	}()
+	fail := func(status int, code string, err error, out string, resp errorResponse) {
+		outcome, errCode = out, code
+		resp.Error, resp.Code, resp.QueryID = err.Error(), code, qid
+		writeJSON(w, status, resp)
+	}
+	badRequest := func(err error) {
+		fail(http.StatusBadRequest, string(xdm.CodeOf(err)), err, "bad_request", errorResponse{})
+	}
+
 	src := r.URL.Query().Get("q")
 	if src == "" && r.Method == http.MethodPost {
 		// Read one byte past the cap so truncation is detectable rather
 		// than silently evaluating a prefix of the query.
 		body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBody+1))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			badRequest(err)
 			return
 		}
 		if int64(len(body)) > s.maxBody {
-			writeErrorCode(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
-				fmt.Errorf("query body exceeds %d bytes", s.maxBody))
+			fail(http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Errorf("query body exceeds %d bytes", s.maxBody), "body_too_large", errorResponse{})
 			return
 		}
 		src = string(body)
 	}
 	if src == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query: pass ?q= or a POST body"))
+		badRequest(fmt.Errorf("missing query: pass ?q= or a POST body"))
 		return
 	}
 	opts := ifpxq.Options{Parallelism: s.parallelism}
@@ -322,7 +479,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if pv := r.URL.Query().Get("p"); pv != "" {
 		p, err := strconv.Atoi(pv)
 		if err != nil || p < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad worker count %q (need an integer ≥ 0)", pv))
+			badRequest(fmt.Errorf("bad worker count %q (need an integer ≥ 0)", pv))
 			return
 		}
 		opts.Parallelism = p
@@ -342,15 +499,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "1":
 		opts.Opt = ifpxq.Opt1
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad optimizer level %q (use 0 or 1)", r.URL.Query().Get("opt")))
+		badRequest(fmt.Errorf("bad optimizer level %q (use 0 or 1)", r.URL.Query().Get("opt")))
 		return
 	}
 	switch r.URL.Query().Get("engine") {
 	case "", "interp", "interpreter":
 	case "rel", "relational":
 		opts.Engine = ifpxq.EngineRelational
+		engLabel = "rel"
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown engine %q", r.URL.Query().Get("engine")))
+		badRequest(fmt.Errorf("unknown engine %q", r.URL.Query().Get("engine")))
 		return
 	}
 	switch r.URL.Query().Get("mode") {
@@ -360,14 +518,23 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "delta":
 		opts.Mode = ifpxq.ModeDelta
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", r.URL.Query().Get("mode")))
+		badRequest(fmt.Errorf("unknown mode %q", r.URL.Query().Get("mode")))
+		return
+	}
+	analyze := false
+	switch r.URL.Query().Get("analyze") {
+	case "", "0", "false":
+	case "1", "true":
+		analyze = true
+	default:
+		badRequest(fmt.Errorf("bad analyze %q (use 0 or 1)", r.URL.Query().Get("analyze")))
 		return
 	}
 	timeout := s.queryTimeout
 	if tv := r.URL.Query().Get("timeout_ms"); tv != "" {
 		ms, err := strconv.Atoi(tv)
 		if err != nil || ms <= 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout_ms %q (need an integer > 0)", tv))
+			badRequest(fmt.Errorf("bad timeout_ms %q (need an integer > 0)", tv))
 			return
 		}
 		if d := time.Duration(ms) * time.Millisecond; timeout == 0 || d < timeout {
@@ -379,21 +546,25 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// wait for) evaluation capacity.
 	q, err := ifpxq.Parse(src)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		fail(http.StatusBadRequest, string(xdm.CodeOf(err)), err, "parse_error", errorResponse{})
 		return
 	}
 
+	acquireStart := time.Now()
 	release, err := s.ctrl.Acquire(r.Context(), int64(eff))
+	queueWait = time.Since(acquireStart)
+	s.metrics.queueWait.Observe(queueWait.Seconds())
 	if err != nil {
 		switch {
 		case errors.Is(err, admission.ErrShed):
 			w.Header().Set("Retry-After", "1")
-			writeErrorCode(w, http.StatusTooManyRequests, codeShed, err)
+			fail(http.StatusTooManyRequests, codeShed, err, "shed", errorResponse{})
 		case errors.Is(err, admission.ErrQueueTimeout):
 			w.Header().Set("Retry-After", "2")
-			writeErrorCode(w, http.StatusTooManyRequests, codeQueueTimeout, err)
+			fail(http.StatusTooManyRequests, codeQueueTimeout, err, "queue_timeout", errorResponse{})
 		default:
 			// The client disconnected while queued; nobody reads a reply.
+			outcome = "cancelled"
 		}
 		return
 	}
@@ -426,32 +597,69 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	res, err := q.Eval(opts)
+	var res *ifpxq.Result
+	var analyzeOut string
+	if analyze {
+		opts.Trace = obs.NewTrace(qid)
+		var rep *ifpxq.AnalyzeReport
+		rep, err = q.Analyze(opts)
+		if rep != nil {
+			res = rep.Result
+			analyzeOut = rep.Render()
+		}
+	} else {
+		res, err = q.Eval(opts)
+	}
 	elapsed := time.Since(start)
+	execDur = elapsed
+	s.metrics.latency.With(engLabel).Observe(elapsed.Seconds())
+	if res != nil {
+		for _, fp := range res.Fixpoints {
+			rounds += int64(fp.Stats.Depth)
+		}
+		s.metrics.rounds.Add(rounds)
+	}
 	if err != nil {
 		status := http.StatusUnprocessableEntity
+		out := "error"
 		if xdm.IsNotFound(err) {
 			status = http.StatusNotFound
+			out = "not_found"
 		}
 		if xdm.CodeOf(err) == xdm.ErrDeadline {
-			s.timeouts.Add(1)
+			s.count(func(c *serverCounters) { c.Timeouts++ })
 		}
-		resp := errorResponse{Error: err.Error(), Code: string(xdm.CodeOf(err))}
-		if xdm.IsBudget(err) && res != nil {
-			resp.Fixpoints = fixpointsJSON(res.Fixpoints)
+		resp := errorResponse{}
+		if xdm.IsBudget(err) {
+			out = "truncated"
+			s.metrics.truncations.With(string(xdm.CodeOf(err))).Inc()
+			if res != nil {
+				resp.Fixpoints = fixpointsJSON(res.Fixpoints)
+			}
+			resp.Analyze = analyzeOut
 		}
-		writeJSON(w, status, resp)
+		fail(status, string(xdm.CodeOf(err)), err, out, resp)
 		return
 	}
-	s.queries.Add(1)
+	s.count(func(c *serverCounters) { c.Queries++ })
+	rows = int64(res.Count())
+	s.metrics.rows.Add(rows)
 	resp := queryResponse{
+		QueryID:   qid,
 		Result:    res.String(),
 		Count:     res.Count(),
 		ElapsedUs: elapsed.Microseconds(),
 		DocWaitUs: docWait.Load() / 1e3,
 		Fixpoints: fixpointsJSON(res.Fixpoints),
+		Analyze:   analyzeOut,
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.reg.WriteText(w)
 }
 
 // statsResponse is the /stats JSON shape.
@@ -473,11 +681,15 @@ type storeJSON struct {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// One struct read under one lock: the counters are mutually consistent.
+	// time.Since reads the monotonic clock carried by started, so uptime
+	// never jumps with wall-clock adjustments.
+	c := s.snapshot()
 	writeJSON(w, http.StatusOK, statsResponse{
 		UptimeS:   time.Since(s.started).Seconds(),
-		Queries:   s.queries.Load(),
-		Timeouts:  s.timeouts.Load(),
-		Panics:    s.panics.Load(),
+		Queries:   c.Queries,
+		Timeouts:  c.Timeouts,
+		Panics:    c.Panics,
 		Draining:  s.draining.Load(),
 		Admission: s.ctrl.Stats(),
 		Store:     storeJSON{Dir: s.store.Dir(), Mmap: s.store.Mmap()},

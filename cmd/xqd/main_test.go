@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/xmldoc"
 	"repro/internal/xmlgen"
@@ -293,5 +294,161 @@ func TestConcurrentQueries(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// TestMetricsEndpoint checks that /metrics is valid Prometheus text whose
+// counters move with traffic: query outcomes, per-engine latency
+// histograms, fixpoint rounds, cache and admission families.
+func TestMetricsEndpoint(t *testing.T) {
+	_, hs := testServer(t, store.Options{})
+	q := url.QueryEscape(fixpointQuery)
+
+	scrape := func() map[string]float64 {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			t.Fatalf("content type %q", ct)
+		}
+		m, err := obs.ParsePromText(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	before := scrape()
+
+	var resp queryResponse
+	if code := getJSON(t, hs.URL+"/query?q="+q, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if code := getJSON(t, hs.URL+"/query?engine=rel&q="+q, &resp); code != http.StatusOK {
+		t.Fatalf("rel status %d", code)
+	}
+	var e errorResponse
+	if code := getJSON(t, hs.URL+"/query?q=%28%28", &e); code != http.StatusBadRequest {
+		t.Fatalf("parse error status %d", code)
+	}
+	// Three guaranteed result items, independent of the generated data.
+	if code := getJSON(t, hs.URL+"/query?q="+url.QueryEscape("1,2,3"), &resp); code != http.StatusOK {
+		t.Fatalf("literal status %d", code)
+	}
+
+	delta := obs.DeltaSeries(before, scrape())
+	for series, want := range map[string]float64{
+		`xqd_queries_total{outcome="ok"}`:          3,
+		`xqd_queries_total{outcome="parse_error"}`: 1,
+		`xqd_query_seconds_count{engine="interp"}`: 2,
+		`xqd_query_seconds_count{engine="rel"}`:    1,
+		`xqd_queue_wait_seconds_count`:             3,
+		`xqd_cache_misses_total`:                   1,
+		`xqd_admission_admitted_total`:             3,
+	} {
+		if delta[series] != want {
+			t.Errorf("%s delta = %g, want %g\n(all deltas: %v)", series, delta[series], want, delta)
+		}
+	}
+	// The fixpoint query runs real rounds; the exact count is the engines'
+	// business, the metric just has to move.
+	if delta["xqd_fixpoint_rounds_total"] == 0 {
+		t.Error("xqd_fixpoint_rounds_total did not move across two fixpoint queries")
+	}
+	if delta["xqd_result_rows_total"] < 3 {
+		t.Errorf("xqd_result_rows_total delta = %g, want >= 3", delta["xqd_result_rows_total"])
+	}
+}
+
+// TestAnalyzeParam checks ?analyze=1: the response carries the rendered
+// EXPLAIN ANALYZE report (phases, annotated plan on rel, per-round fixpoint
+// spans), the result agrees with a plain evaluation, and the query ID in
+// the report matches the X-Query-ID header.
+func TestAnalyzeParam(t *testing.T) {
+	_, hs := testServer(t, store.Options{})
+	q := url.QueryEscape(fixpointQuery)
+
+	var plain queryResponse
+	if code := getJSON(t, hs.URL+"/query?engine=rel&q="+q, &plain); code != http.StatusOK {
+		t.Fatalf("plain status %d", code)
+	}
+	hresp, err := http.Get(hs.URL + "/query?engine=rel&analyze=1&q=" + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var an queryResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&an); err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d", hresp.StatusCode)
+	}
+	if an.Result != plain.Result {
+		t.Fatalf("analyze perturbed the result: %q vs %q", an.Result, plain.Result)
+	}
+	if an.QueryID == "" || an.QueryID != hresp.Header.Get("X-Query-ID") {
+		t.Fatalf("query id %q vs header %q", an.QueryID, hresp.Header.Get("X-Query-ID"))
+	}
+	for _, want := range []string{
+		"explain analyze " + an.QueryID, "phase compile", "phase exec",
+		"calls=", "fixpoint site", "round 0: fed=",
+	} {
+		if !strings.Contains(an.Analyze, want) {
+			t.Errorf("analyze output misses %q:\n%s", want, an.Analyze)
+		}
+	}
+	// The interpreter engine has no plan stage but still reports phases
+	// and per-round spans.
+	var interp queryResponse
+	if code := getJSON(t, hs.URL+"/query?analyze=1&q="+q, &interp); code != http.StatusOK {
+		t.Fatalf("interp analyze status %d", code)
+	}
+	if !strings.Contains(interp.Analyze, "fixpoint site") {
+		t.Errorf("interp analyze misses fixpoint spans:\n%s", interp.Analyze)
+	}
+	var e errorResponse
+	if code := getJSON(t, hs.URL+"/query?analyze=2&q="+q, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad analyze value: status %d", code)
+	}
+}
+
+// TestRequestLog checks the structured per-request line: one line per
+// request through the injectable logf, carrying the query ID, outcome, and
+// counters the operator greps for.
+func TestRequestLog(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	_, hs := testServer(t, store.Options{}, func(s *server) {
+		s.logRequests = true
+		s.logf = func(format string, args ...any) {
+			mu.Lock()
+			lines = append(lines, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		}
+	})
+	var resp queryResponse
+	if code := getJSON(t, hs.URL+"/query?engine=rel&q="+url.QueryEscape(fixpointQuery), &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	var e errorResponse
+	if code := getJSON(t, hs.URL+"/query?q=%28%28", &e); code != http.StatusBadRequest {
+		t.Fatalf("parse error status %d", code)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) != 2 {
+		t.Fatalf("got %d log lines, want 2: %q", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "id="+resp.QueryID) ||
+		!strings.Contains(lines[0], "engine=rel") ||
+		!strings.Contains(lines[0], "outcome=ok") ||
+		!strings.Contains(lines[0], "rounds=") {
+		t.Errorf("ok line missing fields: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "outcome=parse_error") {
+		t.Errorf("error line missing outcome: %q", lines[1])
 	}
 }

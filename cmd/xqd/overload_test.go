@@ -112,8 +112,8 @@ func TestDeadlineTruncation(t *testing.T) {
 	if e.Code != "IFPX0002" {
 		t.Fatalf("code %q, want IFPX0002", e.Code)
 	}
-	if srv.timeouts.Load() != 1 {
-		t.Fatalf("timeouts counter = %d, want 1", srv.timeouts.Load())
+	if n := srv.snapshot().Timeouts; n != 1 {
+		t.Fatalf("timeouts counter = %d, want 1", n)
 	}
 	// The server must still answer ordinary queries afterwards.
 	var q queryResponse
@@ -318,8 +318,8 @@ func TestPanicRecovery(t *testing.T) {
 	if e.Code != codePanic {
 		t.Fatalf("code %q, want %q", e.Code, codePanic)
 	}
-	if srv.panics.Load() != 1 {
-		t.Fatalf("panics counter = %d, want 1", srv.panics.Load())
+	if n := srv.snapshot().Panics; n != 1 {
+		t.Fatalf("panics counter = %d, want 1", n)
 	}
 	var q queryResponse
 	if code := getJSON(t, hs.URL+"/query?q="+url.QueryEscape("1+1"), &q); code != http.StatusOK {

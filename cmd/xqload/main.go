@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -73,6 +74,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 60*time.Second, "client-side per-request timeout")
 		doc      = flag.String("doc", "curriculum.xml", "document URI the query mix targets")
 		jsonOut  = flag.Bool("json", false, "emit reports as a JSON array")
+		scrape   = flag.Bool("metrics-scrape", false, "scrape the server's /metrics before and after each run and report the counter deltas")
 	)
 	flag.Parse()
 
@@ -95,13 +97,17 @@ func main() {
 
 	var reports []*xqload.Report
 	for _, r := range sweep {
-		rep, err := xqload.Run(ctx, xqload.Options{
+		opts := xqload.Options{
 			BaseURL:  *baseURL,
 			Rate:     r,
 			Duration: *duration,
 			Timeout:  *timeout,
 			Classes:  defaultClasses(*doc),
-		})
+		}
+		if *scrape {
+			opts.MetricsURL = *baseURL + "/metrics"
+		}
+		rep, err := xqload.Run(ctx, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "xqload:", err)
 			os.Exit(1)
@@ -130,5 +136,16 @@ func printReport(r *xqload.Report) {
 	for _, c := range r.Classes {
 		fmt.Printf("  class %-10s sent=%-5d ok=%-5d shed=%-5d truncated=%-5d 5xx=%-3d p99=%.1fms\n",
 			c.Name, c.Sent, c.OK, c.Shed, c.Truncated, c.ServerErr, c.P99Ms)
+	}
+	if len(r.Server) > 0 {
+		fmt.Printf("  server-side deltas (/metrics):\n")
+		keys := make([]string, 0, len(r.Server))
+		for k := range r.Server {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("    %s %g\n", k, r.Server[k])
+		}
 	}
 }

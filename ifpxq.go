@@ -23,6 +23,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/algebra/opt"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/regularxpath"
 	"repro/internal/store"
 	"repro/internal/xdm"
@@ -175,6 +176,13 @@ type Options struct {
 	// the relational executor builds. Exceeding it returns a typed
 	// xdm.ErrRows error. 0 = unbounded.
 	MaxRows int64
+	// Trace, when non-nil, records the evaluation's phases
+	// (compile/optimize/store-resolve/exec) and one span per fixpoint
+	// round at every site, in both engines. Tracing is passive: results,
+	// errors, and fixpoint statistics are byte-identical with and without
+	// it (guarded by internal/difftest CheckTracing), and a nil Trace
+	// costs only nil checks. Query.Analyze supplies one automatically.
+	Trace *obs.Trace
 }
 
 // budget assembles the per-evaluation resource budget; nil when nothing
@@ -382,89 +390,124 @@ func (q *Query) Eval(opts Options) (*Result, error) {
 	}
 	docs, done := opts.resolver()
 	defer done()
+	if opts.Trace != nil && docs != nil {
+		docs = tracedDocs(opts.Trace, docs)
+	}
 	switch opts.Engine {
 	case EngineRelational:
-		mode := algebra.ModeAuto
-		switch opts.Mode {
-		case ModeNaive:
-			mode = algebra.ModeNaive
-		case ModeDelta:
-			mode = algebra.ModeDelta
-		}
-		var optimize func(*algebra.Plan)
-		if opts.Opt != Opt0 {
-			optimize = opt.Optimize
-		}
-		en, err := algebra.NewEngine(q.module, algebra.Options{
-			Mode: mode, MaxIterations: opts.MaxIterations,
-			Strict: opts.StrictAlgebraicCheck, Docs: docs,
-			Parallelism: opts.Parallelism, Context: opts.Context,
-			Optimize: optimize, Budget: budget,
-		})
+		en, err := q.newRelationalEngine(&opts, budget, docs, nil)
 		if err != nil {
 			return nil, err
 		}
-		distributive := false
-		for _, site := range en.Plan().Mus {
-			distributive = distributive || site.Distributive || site.DistributiveExt
-		}
-		seq, runs, err := en.Eval()
-		res := &Result{}
-		for _, run := range runs {
-			alg := core.Naive
-			if run.Delta {
-				alg = core.Delta
-			}
-			res.Fixpoints = append(res.Fixpoints, FixpointStats{
-				Algorithm: alg, Distributive: distributive,
-				Executions: run.Executions, Stats: run.Stats,
-			})
-		}
-		if err != nil {
-			if xdm.IsBudget(err) {
-				return res, err
-			}
-			return nil, err
-		}
-		res.Items = seq
-		return res, nil
+		return relationalResult(en)
 	default:
-		mode := interp.ModeAuto
-		switch opts.Mode {
-		case ModeNaive:
-			mode = interp.ModeNaive
-		case ModeDelta:
-			mode = interp.ModeDelta
-		}
-		en := interp.New(q.module, interp.Options{
-			Mode: mode, MaxIterations: opts.MaxIterations,
-			Docs: docs, ContextItem: opts.ContextItem,
-			Parallelism: opts.Parallelism, Context: opts.Context,
-			Budget: budget,
-		})
-		out, err := en.Eval()
-		if err != nil {
-			if out != nil && xdm.IsBudget(err) {
-				res := &Result{}
-				for _, run := range out.IFPRuns {
-					res.Fixpoints = append(res.Fixpoints, FixpointStats{
-						Algorithm: run.Algorithm, Distributive: run.Distributive,
-						Executions: run.Executions, Stats: run.Stats,
-					})
-				}
-				return res, err
-			}
-			return nil, err
-		}
-		res := &Result{Items: out.Value}
-		for _, run := range out.IFPRuns {
-			res.Fixpoints = append(res.Fixpoints, FixpointStats{
-				Algorithm: run.Algorithm, Distributive: run.Distributive,
-				Executions: run.Executions, Stats: run.Stats,
-			})
-		}
-		return res, nil
+		return interpResult(q.newInterpEngine(&opts, budget, docs))
 	}
+}
+
+// tracedDocs wraps a resolver so each document resolution records one
+// "store-resolve" phase (renderers merge the spans by name).
+func tracedDocs(tr *obs.Trace, docs DocResolver) DocResolver {
+	return func(uri string) (*xdm.Document, error) {
+		defer tr.StartPhase("store-resolve")()
+		return docs(uri)
+	}
+}
+
+// newRelationalEngine builds the relational engine for one evaluation;
+// Eval passes a nil profile, Analyze a live one.
+func (q *Query) newRelationalEngine(opts *Options, budget *xdm.Budget, docs DocResolver, prof *obs.PlanProfile) (*algebra.Engine, error) {
+	mode := algebra.ModeAuto
+	switch opts.Mode {
+	case ModeNaive:
+		mode = algebra.ModeNaive
+	case ModeDelta:
+		mode = algebra.ModeDelta
+	}
+	var optimize func(*algebra.Plan)
+	if opts.Opt != Opt0 {
+		optimize = opt.Optimize
+	}
+	return algebra.NewEngine(q.module, algebra.Options{
+		Mode: mode, MaxIterations: opts.MaxIterations,
+		Strict: opts.StrictAlgebraicCheck, Docs: docs,
+		Parallelism: opts.Parallelism, Context: opts.Context,
+		Optimize: optimize, Budget: budget,
+		Trace: opts.Trace, Prof: prof,
+	})
+}
+
+// relationalResult executes the relational engine and packages its outcome
+// under the Result/budget-error contract documented on Eval.
+func relationalResult(en *algebra.Engine) (*Result, error) {
+	distributive := false
+	for _, site := range en.Plan().Mus {
+		distributive = distributive || site.Distributive || site.DistributiveExt
+	}
+	seq, runs, err := en.Eval()
+	res := &Result{}
+	for _, run := range runs {
+		alg := core.Naive
+		if run.Delta {
+			alg = core.Delta
+		}
+		res.Fixpoints = append(res.Fixpoints, FixpointStats{
+			Algorithm: alg, Distributive: distributive,
+			Executions: run.Executions, Stats: run.Stats,
+		})
+	}
+	if err != nil {
+		if xdm.IsBudget(err) {
+			return res, err
+		}
+		return nil, err
+	}
+	res.Items = seq
+	return res, nil
+}
+
+// newInterpEngine builds the interpreter engine for one evaluation.
+func (q *Query) newInterpEngine(opts *Options, budget *xdm.Budget, docs DocResolver) *interp.Engine {
+	mode := interp.ModeAuto
+	switch opts.Mode {
+	case ModeNaive:
+		mode = interp.ModeNaive
+	case ModeDelta:
+		mode = interp.ModeDelta
+	}
+	return interp.New(q.module, interp.Options{
+		Mode: mode, MaxIterations: opts.MaxIterations,
+		Docs: docs, ContextItem: opts.ContextItem,
+		Parallelism: opts.Parallelism, Context: opts.Context,
+		Budget: budget, Trace: opts.Trace,
+	})
+}
+
+// interpResult executes the interpreter engine and packages its outcome
+// under the Result/budget-error contract documented on Eval.
+func interpResult(en *interp.Engine) (*Result, error) {
+	out, err := en.Eval()
+	if err != nil {
+		if out != nil && xdm.IsBudget(err) {
+			res := &Result{}
+			for _, run := range out.IFPRuns {
+				res.Fixpoints = append(res.Fixpoints, FixpointStats{
+					Algorithm: run.Algorithm, Distributive: run.Distributive,
+					Executions: run.Executions, Stats: run.Stats,
+				})
+			}
+			return res, err
+		}
+		return nil, err
+	}
+	res := &Result{Items: out.Value}
+	for _, run := range out.IFPRuns {
+		res.Fixpoints = append(res.Fixpoints, FixpointStats{
+			Algorithm: run.Algorithm, Distributive: run.Distributive,
+			Executions: run.Executions, Stats: run.Stats,
+		})
+	}
+	return res, nil
 }
 
 // EvalString parses and evaluates in one step.

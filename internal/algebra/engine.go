@@ -3,6 +3,7 @@ package algebra
 import (
 	"context"
 
+	"repro/internal/obs"
 	"repro/internal/xdm"
 	"repro/internal/xq/ast"
 )
@@ -46,6 +47,14 @@ type Options struct {
 	// It runs after the per-site µ/µ∆ decision, so rewrites see the final
 	// Delta flags and the distributivity check always judges the raw plan.
 	Optimize func(*Plan)
+	// Trace, when non-nil, records the compile/optimize/exec phases and
+	// one span per fixpoint round at every µ site. Prof, when non-nil,
+	// accumulates per-operator actuals (calls, rows in/out, self time,
+	// gathers, alloc estimate) keyed by *Node — the EXPLAIN ANALYZE data.
+	// Both are read-only instrumentation: results and MuRun stats are
+	// byte-identical with and without them (difftest CheckTracing).
+	Trace *obs.Trace
+	Prof  *obs.PlanProfile
 }
 
 // Engine evaluates a module through the relational pipeline: loop-lifting
@@ -59,7 +68,9 @@ type Engine struct {
 // NewEngine compiles the module and fixes each µ site's algorithm per the
 // requested mode.
 func NewEngine(m *ast.Module, opts Options) (*Engine, error) {
+	stopCompile := opts.Trace.StartPhase("compile")
 	plan, err := CompileModule(m)
+	stopCompile()
 	if err != nil {
 		return nil, err
 	}
@@ -78,7 +89,9 @@ func NewEngine(m *ast.Module, opts Options) (*Engine, error) {
 		}
 	}
 	if opts.Optimize != nil {
+		stopOpt := opts.Trace.StartPhase("optimize")
 		opts.Optimize(plan)
+		stopOpt()
 	}
 	return &Engine{plan: plan, opts: opts}, nil
 }
@@ -93,8 +106,11 @@ func (e *Engine) Eval() (xdm.Sequence, []MuRun, error) {
 		Docs: e.opts.Docs, MaxIterations: e.opts.MaxIterations,
 		Parallelism: e.opts.Parallelism, Ctx: e.opts.Context,
 		LoopDeps: e.plan.LoopDeps, Budget: e.opts.Budget,
+		Trace: e.opts.Trace, Prof: e.opts.Prof,
 	}
+	stopExec := e.opts.Trace.StartPhase("exec")
 	t, err := Eval(e.plan.Root, ctx)
+	stopExec()
 	if err != nil {
 		return nil, ctx.MuRuns(), err
 	}

@@ -7,8 +7,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/xdm"
 	"repro/internal/xq/ast"
@@ -137,14 +139,24 @@ type ExecContext struct {
 	// order does not depend on the worker count, so a truncation error is
 	// byte-identical at every parallelism setting.
 	Budget *xdm.Budget
+	// Trace, when non-nil, records one span per fixpoint round at every µ
+	// site; Prof, when non-nil, accumulates per-operator actuals. Both are
+	// read-only instrumentation — the disabled path is a nil check.
+	Trace *obs.Trace
+	Prof  *obs.PlanProfile
 
 	memo      map[*Node]*Table
 	binding   map[*Node]*Table // OpRecBase → current feed
 	muAgg     map[*Node]*MuRun
 	muDeps    map[*Node]map[*Node]bool // µ node → rec-dependent body nodes
+	muSite    map[*Node]int            // µ node → Trace site index
 	docs      map[string]*xdm.Document
 	stepCache map[stepCacheKey][]xdm.NodeRef
 	stepMu    sync.Mutex // guards stepCache when step joins shard
+	// childNs threads descendant evaluation time through the profiled
+	// recursion so each operator's SelfNs excludes its children; see
+	// evalProfiled. Only the driving goroutine touches it.
+	childNs int64
 }
 
 // workers is the normalized pool width.
@@ -184,6 +196,7 @@ func (ctx *ExecContext) init() {
 		ctx.binding = map[*Node]*Table{}
 		ctx.muAgg = map[*Node]*MuRun{}
 		ctx.muDeps = map[*Node]map[*Node]bool{}
+		ctx.muSite = map[*Node]int{}
 		ctx.docs = map[string]*xdm.Document{}
 		ctx.stepCache = map[stepCacheKey][]xdm.NodeRef{}
 	}
@@ -199,6 +212,9 @@ func (ctx *ExecContext) eval(n *Node) (*Table, error) {
 	if t, ok := ctx.memo[n]; ok {
 		return t, nil
 	}
+	if ctx.Prof != nil {
+		return ctx.evalProfiled(n)
+	}
 	t, err := ctx.evalOp(n)
 	if err != nil {
 		return nil, err
@@ -213,6 +229,80 @@ func (ctx *ExecContext) eval(n *Node) (*Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// evalProfiled is eval's EXPLAIN ANALYZE twin: identical memoization and
+// budget charging, plus per-operator actuals. Self time is derived with a
+// child-time accumulator threaded through the recursion: each call zeroes
+// ctx.childNs for its own children and, on return, adds its total into the
+// parent's accumulator — so SelfNs is wall time minus descendant time, and
+// the column sums to the plan's total. Memo hits return above without
+// touching the accumulator: their (near-zero) lookup cost stays with the
+// parent.
+func (ctx *ExecContext) evalProfiled(n *Node) (*Table, error) {
+	start := time.Now()
+	outer := ctx.childNs
+	ctx.childNs = 0
+	t, err := ctx.evalOp(n)
+	total := time.Since(start).Nanoseconds()
+	self := total - ctx.childNs
+	if self < 0 {
+		self = 0
+	}
+	ctx.childNs = outer + total
+	st := ctx.Prof.Op(n)
+	st.Calls++
+	st.SelfNs += self
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range n.Kids {
+		if kt, ok := ctx.memo[k]; ok {
+			st.RowsIn += int64(kt.Len())
+		} else if bt, ok := ctx.binding[k]; ok {
+			st.RowsIn += int64(bt.Len())
+		}
+	}
+	st.RowsOut += int64(t.Len())
+	if opGathers(n.Op) {
+		st.Gathers += int64(t.Len()) * int64(len(t.cols))
+	}
+	st.AllocBytes += t.approxBytes()
+	if n.Op != OpRecBase {
+		ctx.memo[n] = t
+		if err := ctx.chargeTable(t); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// opGathers marks the operators whose output is assembled by positional
+// column gathers (selection vectors, join index vectors, step expansion) —
+// the Gathers counter estimates rows × columns moved through them.
+func opGathers(op OpKind) bool {
+	switch op {
+	case OpSelect, OpJoin, OpSemiJoin, OpAntiJoin, OpDistinct, OpDiff,
+		OpStep, OpIDLookup:
+		return true
+	}
+	return false
+}
+
+// approxBytes estimates a table's resident bytes: a packed node column
+// costs one 8-byte identity word per row, a generic column one xdm.Item
+// (interface header, 16 bytes) per row — the vector payload only, ignoring
+// per-column headers.
+func (t *Table) approxBytes() int64 {
+	var b int64
+	for _, c := range t.cols {
+		if c.IsPacked() {
+			b += 8 * int64(c.Len())
+		} else {
+			b += 16 * int64(c.Len())
+		}
+	}
+	return b
 }
 
 // chargeTable accounts one freshly materialized table against the budget

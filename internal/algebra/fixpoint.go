@@ -36,6 +36,20 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 		ctx.muAgg[n] = run
 	}
 	run.Executions++
+	tr := ctx.Trace
+	var site int
+	if tr != nil {
+		var ok bool
+		site, ok = ctx.muSite[n]
+		if !ok {
+			label := "µ"
+			if n.Delta {
+				label = "µ∆"
+			}
+			site = tr.AddSite(label)
+			ctx.muSite[n] = site
+		}
+	}
 	maxIter := ctx.MaxIterations
 	if maxIter <= 0 {
 		maxIter = core.DefaultMaxIterations
@@ -70,9 +84,13 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	t0 := tr.Now()
 	res, err := body(seed)
 	if err != nil {
 		return nil, err
+	}
+	if tr != nil {
+		tr.AddRound(site, 0, int64(seed.size()), int64(res.size()), tr.Now()-t0)
 	}
 	budget := ctx.Budget
 	if n.Delta {
@@ -84,6 +102,8 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 			if err := budget.CheckRound(round); err != nil {
 				return nil, err
 			}
+			fed := delta.size()
+			t0 = tr.Now()
 			out, err := body(delta)
 			if err != nil {
 				return nil, err
@@ -91,6 +111,9 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 			delta, err = res.absorbN(out, workers, ctx.Ctx)
 			if err != nil {
 				return nil, err
+			}
+			if tr != nil {
+				tr.AddRound(site, round+1, int64(fed), int64(delta.size()), tr.Now()-t0)
 			}
 			if err := budget.ChargeRows(delta.size()); err != nil {
 				return nil, err
@@ -104,6 +127,8 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 			if err := budget.CheckRound(round); err != nil {
 				return nil, err
 			}
+			fed := res.size()
+			t0 = tr.Now()
 			out, err := body(res)
 			if err != nil {
 				return nil, err
@@ -111,6 +136,9 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 			d, err := res.absorbN(out, workers, ctx.Ctx)
 			if err != nil {
 				return nil, err
+			}
+			if tr != nil {
+				tr.AddRound(site, round+1, int64(fed), int64(d.size()), tr.Now()-t0)
 			}
 			if d.size() == 0 {
 				break

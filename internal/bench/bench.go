@@ -15,6 +15,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/algebra/opt"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/xdm"
 	"repro/internal/xmldoc"
 	"repro/internal/xmlgen"
@@ -124,6 +125,10 @@ type Measurement struct {
 	// Distributive reports the engine's own distributivity verdict for
 	// the query's fixpoint body (syntactic for interp, algebraic for rel).
 	Distributive bool
+	// Phases breaks the cell's last run into traced pipeline phases
+	// (compile/optimize/exec for rel, exec for interp), cumulative
+	// nanoseconds by phase name.
+	Phases map[string]int64
 }
 
 // Row is one fully measured Table 2 row.
@@ -221,8 +226,10 @@ func (r *Runner) runInterp(m *ast.Module, alg core.Algorithm, docs func(string) 
 	if alg == core.Delta {
 		mode = interp.ModeDelta
 	}
+	tr := obs.NewTrace("bench")
 	en := interp.New(m, interp.Options{
 		Mode: mode, Docs: docs, MaxIterations: r.MaxIterations, Parallelism: r.Parallelism,
+		Trace: tr,
 	})
 	start := time.Now()
 	res, err := en.Eval()
@@ -230,7 +237,8 @@ func (r *Runner) runInterp(m *ast.Module, alg core.Algorithm, docs func(string) 
 	if err != nil {
 		return Measurement{}, err
 	}
-	meas := Measurement{Engine: EngineInterp, Algorithm: alg, Elapsed: elapsed, ResultLen: len(res.Value)}
+	meas := Measurement{Engine: EngineInterp, Algorithm: alg, Elapsed: elapsed,
+		ResultLen: len(res.Value), Phases: tr.PhaseNs()}
 	for _, run := range res.IFPRuns {
 		meas.Stats.PayloadCalls += run.Stats.PayloadCalls
 		meas.Stats.NodesFedBack += run.Stats.NodesFedBack
@@ -252,9 +260,10 @@ func (r *Runner) runRelational(m *ast.Module, alg core.Algorithm, docs func(stri
 	if !r.Opt0 {
 		optimize = opt.Optimize
 	}
+	tr := obs.NewTrace("bench")
 	en, err := algebra.NewEngine(m, algebra.Options{
 		Mode: mode, Docs: docs, MaxIterations: r.MaxIterations, Parallelism: r.Parallelism,
-		Optimize: optimize,
+		Optimize: optimize, Trace: tr,
 	})
 	if err != nil {
 		return Measurement{}, err
@@ -270,7 +279,7 @@ func (r *Runner) runRelational(m *ast.Module, alg core.Algorithm, docs func(stri
 		return Measurement{}, err
 	}
 	meas := Measurement{Engine: EngineRelational, Algorithm: alg, Elapsed: elapsed,
-		ResultLen: len(seq), Distributive: distributive}
+		ResultLen: len(seq), Distributive: distributive, Phases: tr.PhaseNs()}
 	for _, run := range runs {
 		meas.Stats.PayloadCalls += run.Stats.PayloadCalls
 		meas.Stats.NodesFedBack += run.Stats.NodesFedBack

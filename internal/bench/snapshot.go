@@ -23,6 +23,10 @@ type Entry struct {
 	AllocsOp int64   `json:"allocs_op"`
 	NodesFed int64   `json:"nodes_fed"`
 	Depth    int     `json:"depth"`
+	// PhaseNs breaks the cell's evaluation into traced pipeline phases
+	// (cumulative ns by phase name). Absent in files written before the
+	// trace API; benchdiff ignores it.
+	PhaseNs map[string]int64 `json:"phase_ns,omitempty"`
 }
 
 // File is the snapshot/trajectory file layout.

@@ -10,6 +10,7 @@ package core
 import (
 	"context"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/xdm"
 )
@@ -91,6 +92,13 @@ type Config struct {
 	// round's absorbed growth are charged against the row budget. Budget
 	// errors unwind with the Stats collected so far.
 	Budget *xdm.Budget
+	// Trace, when non-nil, records one span per round (feed size, absorbed
+	// growth, duration) under the TraceSite index, round 0 being the
+	// seeding application. Recording is read-only instrumentation: results
+	// and Stats are byte-identical with and without it (internal/difftest
+	// CheckTracing).
+	Trace     *obs.Trace
+	TraceSite int
 }
 
 // Run computes the IFP of the payload seeded by seed using the requested
@@ -135,8 +143,12 @@ func runNaive(seed xdm.Sequence, body Payload, cfg Config) (xdm.Sequence, Stats,
 	}
 	var st Stats
 	var acc xdm.Accumulator
+	t0 := cfg.Trace.Now()
 	if err := seedAccumulator(&acc, seed, body, &st); err != nil {
 		return nil, st, err
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.AddRound(cfg.TraceSite, 0, int64(len(seed)), int64(acc.Len()), cfg.Trace.Now()-t0)
 	}
 	if err := cfg.Budget.ChargeRows(acc.Len()); err != nil {
 		return nil, st, err
@@ -153,6 +165,7 @@ func runNaive(seed xdm.Sequence, body Payload, cfg Config) (xdm.Sequence, Stats,
 		if err := par.CtxErr(cfg.Context); err != nil {
 			return nil, st, err
 		}
+		t0 = cfg.Trace.Now()
 		step, err := applyTo(body, feed, &st)
 		if err != nil {
 			return nil, st, err
@@ -160,6 +173,9 @@ func runNaive(seed xdm.Sequence, body Payload, cfg Config) (xdm.Sequence, Stats,
 		fresh, err := absorbSharded(&acc, step, cfg)
 		if err != nil {
 			return nil, st, err
+		}
+		if cfg.Trace != nil {
+			cfg.Trace.AddRound(cfg.TraceSite, round+1, int64(len(feed)), int64(len(fresh)), cfg.Trace.Now()-t0)
 		}
 		if len(fresh) == 0 { // res is inflationary: no growth ⇒ fixpoint
 			st.Depth = st.PayloadCalls - 1
@@ -193,8 +209,12 @@ func runDelta(seed xdm.Sequence, body Payload, cfg Config) (xdm.Sequence, Stats,
 	}
 	var st Stats
 	var acc xdm.Accumulator
+	t0 := cfg.Trace.Now()
 	if err := seedAccumulator(&acc, seed, body, &st); err != nil {
 		return nil, st, err
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.AddRound(cfg.TraceSite, 0, int64(len(seed)), int64(acc.Len()), cfg.Trace.Now()-t0)
 	}
 	if err := cfg.Budget.ChargeRows(acc.Len()); err != nil {
 		return nil, st, err
@@ -211,6 +231,8 @@ func runDelta(seed xdm.Sequence, body Payload, cfg Config) (xdm.Sequence, Stats,
 		if err := par.CtxErr(cfg.Context); err != nil {
 			return nil, st, err
 		}
+		fed := len(delta)
+		t0 = cfg.Trace.Now()
 		step, err := applyTo(body, xdm.NodeSeq(delta), &st)
 		if err != nil {
 			return nil, st, err
@@ -218,6 +240,9 @@ func runDelta(seed xdm.Sequence, body Payload, cfg Config) (xdm.Sequence, Stats,
 		delta, err = absorbSharded(&acc, step, cfg)
 		if err != nil {
 			return nil, st, err
+		}
+		if cfg.Trace != nil {
+			cfg.Trace.AddRound(cfg.TraceSite, round+1, int64(fed), int64(len(delta)), cfg.Trace.Now()-t0)
 		}
 		if err := cfg.Budget.ChargeRows(len(delta)); err != nil {
 			return nil, st, err

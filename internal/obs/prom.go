@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a minimal Prometheus text-format (version 0.0.4) metric
+// registry: counters, callback gauges, and fixed-bucket histograms, with a
+// deterministic exposition (families in registration order, series sorted
+// by label values) so scrapes diff cleanly in tests. It is deliberately
+// hand-rolled — the repository takes no dependencies — and covers exactly
+// what xqd needs.
+type Registry struct {
+	mu   sync.Mutex
+	fams []*family
+}
+
+type metricKind uint8
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case gaugeKind:
+		return "gauge"
+	case histogramKind:
+		return "histogram"
+	}
+	return "counter"
+}
+
+// family is one metric name: its metadata plus all labeled series.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+
+	mu     sync.Mutex
+	order  []string // series keys in first-seen order; sorted at render
+	series map[string]any
+	fn     func() float64 // callback gauges/counters
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) family(name, help string, kind metricKind, labels ...string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.fams {
+		if f.name == name {
+			panic("obs: duplicate metric " + name)
+		}
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, series: map[string]any{}}
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// Counter is a monotonically increasing int64, safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be ≥ 0 to keep the counter monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Counter registers an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, counterKind)
+	c := &Counter{}
+	f.series[""] = c
+	f.order = append(f.order, "")
+	return c
+}
+
+// CounterVec is a counter family with one series per label-value tuple.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, counterKind, labels...)}
+}
+
+// With returns the series for the given label values (created on first
+// use). The value count must match the declared label count.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	key := labelKey(v.f.labels, values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if c, ok := v.f.series[key]; ok {
+		return c.(*Counter)
+	}
+	c := &Counter{}
+	v.f.series[key] = c
+	v.f.order = append(v.f.order, key)
+	return c
+}
+
+// GaugeFunc registers a gauge whose value is read at scrape time — the fit
+// for values another subsystem already tracks (admission depth, cache
+// bytes, uptime).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, gaugeKind)
+	f.fn = fn
+}
+
+// CounterFunc registers a counter whose value is read at scrape time, for
+// monotone totals owned elsewhere (admission sheds, cache hits).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, counterKind)
+	f.fn = fn
+}
+
+// DurationBuckets are the latency histogram bounds xqd uses, in seconds.
+var DurationBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bound histogram; Observe is safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []int64 // per-bucket (non-cumulative); +Inf bucket is counts[len(bounds)]
+	sum    float64
+	count  int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v (le semantics)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count reads how many values were observed.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DurationBuckets
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic("obs: histogram bounds must be sorted")
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Histogram registers an unlabeled histogram (nil bounds = DurationBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	f := r.family(name, help, histogramKind)
+	h := newHistogram(bounds)
+	f.series[""] = h
+	f.order = append(f.order, "")
+	return h
+}
+
+// HistogramVec is a histogram family with one series per label tuple.
+type HistogramVec struct {
+	f      *family
+	bounds []float64
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if len(bounds) == 0 {
+		bounds = DurationBuckets
+	}
+	return &HistogramVec{f: r.family(name, help, histogramKind, labels...), bounds: bounds}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	key := labelKey(v.f.labels, values)
+	v.f.mu.Lock()
+	defer v.f.mu.Unlock()
+	if h, ok := v.f.series[key]; ok {
+		return h.(*Histogram)
+	}
+	h := newHistogram(v.bounds)
+	v.f.series[key] = h
+	v.f.order = append(v.f.order, key)
+	return h
+}
+
+// labelKey renders `label="value",…` with values escaped per the text
+// exposition format (backslash, quote, newline).
+func labelKey(labels, values []string) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders the registry in Prometheus text exposition format.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.writeText(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) writeText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+		return err
+	}
+	if f.fn != nil {
+		_, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn()))
+		return err
+	}
+	f.mu.Lock()
+	keys := make([]string, len(f.order))
+	copy(keys, f.order)
+	series := make([]any, len(keys))
+	sort.Strings(keys)
+	for i, k := range keys {
+		series[i] = f.series[k]
+	}
+	f.mu.Unlock()
+	for i, k := range keys {
+		switch m := series[i].(type) {
+		case *Counter:
+			name := f.name
+			if k != "" {
+				name += "{" + k + "}"
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", name, m.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			if err := m.writeText(w, f.name, k); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (h *Histogram) writeText(w io.Writer, name, key string) error {
+	h.mu.Lock()
+	counts := make([]int64, len(h.counts))
+	copy(counts, h.counts)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	join := func(extra string) string {
+		if key == "" {
+			return extra
+		}
+		if extra == "" {
+			return key
+		}
+		return key + "," + extra
+	}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, join(`le="`+formatFloat(b)+`"`), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(h.bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", name, join(`le="+Inf"`), cum); err != nil {
+		return err
+	}
+	sumName, cntName := name+"_sum", name+"_count"
+	if key != "" {
+		sumName += "{" + key + "}"
+		cntName += "{" + key + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", sumName, formatFloat(sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", cntName, count)
+	return err
+}

@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// ParsePromText parses a Prometheus text-format exposition into a flat
+// map keyed by the full series name including labels, e.g.
+// `xqd_queries_total{outcome="ok"}` → 42. Comment and blank lines are
+// skipped; each sample line splits at its last space (label values in our
+// expositions never contain spaces). xqload uses this to diff server-side
+// scrapes around a load run.
+func ParsePromText(r io.Reader) (map[string]float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	out := map[string]float64{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("obs: malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: bad sample value in %q: %v", line, err)
+		}
+		out[strings.TrimSpace(line[:i])] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading exposition: %v", err)
+	}
+	return out, nil
+}
+
+// DeltaSeries returns after − before per series, keeping only series that
+// moved. Missing keys count as zero on either side, so reading a key that
+// never moved out of the result yields 0 — exactly what callers asserting
+// "no truncations" want.
+func DeltaSeries(before, after map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range after {
+		if d := v - before[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	for k, v := range before {
+		if _, ok := after[k]; !ok && v != 0 {
+			out[k] = -v
+		}
+	}
+	return out
+}
+
+// queryIDs numbers queries process-wide; see NextQueryID.
+var queryIDs atomic.Int64
+
+// NextQueryID returns a process-unique query ID ("q-000001", …) used to
+// correlate responses, log lines, and traces for one request.
+func NextQueryID() string {
+	return fmt.Sprintf("q-%06d", queryIDs.Add(1))
+}

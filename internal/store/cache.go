@@ -2,6 +2,7 @@ package store
 
 import (
 	"sync"
+	"time"
 
 	"repro/internal/xdm"
 )
@@ -26,6 +27,8 @@ type CacheStats struct {
 	Misses    int64 `json:"misses"`
 	Errors    int64 `json:"errors"`    // loader failures (not cached)
 	Evictions int64 `json:"evictions"` // documents dropped by LRU pressure
+	Loads     int64 `json:"loads"`     // loader calls (misses + failures)
+	LoadNs    int64 `json:"load_ns"`   // cumulative wall time inside the loader
 	Docs      int   `json:"docs"`      // resident documents
 	Pinned    int   `json:"pinned"`    // documents currently pinned by sessions
 	Bytes     int64 `json:"bytes"`     // resident arena bytes
@@ -52,6 +55,7 @@ type Cache struct {
 	bytes int64
 
 	hits, misses, errors, evictions int64
+	loads, loadNs                   int64
 }
 
 type entry struct {
@@ -149,13 +153,17 @@ func (c *Cache) Acquire(uri string) (*Pin, error) {
 		c.flights[uri] = fl
 		c.mu.Unlock()
 
+		loadStart := time.Now()
 		doc, err := c.opts.Loader(uri)
+		loadNs := time.Since(loadStart).Nanoseconds()
 		var bytes int64
 		if err == nil {
 			bytes = doc.Stats().ArenaBytes
 		}
 
 		c.mu.Lock()
+		c.loads++
+		c.loadNs += loadNs
 		delete(c.flights, uri)
 		fl.doc, fl.err = doc, err
 		close(fl.done)
@@ -229,6 +237,7 @@ func (c *Cache) Stats() CacheStats {
 	defer c.mu.Unlock()
 	s := CacheStats{
 		Hits: c.hits, Misses: c.misses, Errors: c.errors, Evictions: c.evictions,
+		Loads: c.loads, LoadNs: c.loadNs,
 		Docs: len(c.entries), Bytes: c.bytes,
 		MaxBytes: c.opts.MaxBytes, MaxDocs: c.opts.MaxDocs,
 	}

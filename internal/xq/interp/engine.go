@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/xdm"
 	"repro/internal/xq/ast"
 	"repro/internal/xq/dist"
@@ -65,6 +66,11 @@ type Options struct {
 	// non-recursive evaluations are also cut off. Budget errors unwind with
 	// the partial IFPRuns collected so far.
 	Budget *xdm.Budget
+	// Trace, when non-nil, records the evaluation's "exec" phase and one
+	// span per fixpoint round at every site (through internal/core).
+	// Tracing is read-only: results and stats are byte-identical with and
+	// without it.
+	Trace *obs.Trace
 }
 
 // IFPRun reports one (aggregated) fixpoint site's execution: which
@@ -131,9 +137,11 @@ func (en *Engine) AddDoc(uri string, d *xdm.Document) { en.docCache[uri] = d }
 // partial IFPRuns collected before the cutoff, so servers can report how
 // far a shed query got; every other error returns a nil Result.
 func (en *Engine) Eval() (*Result, error) {
+	defer en.opts.Trace.StartPhase("exec")()
 	ev := &evaluator{
 		engine:  en,
 		ifpAgg:  map[*ast.Fixpoint]*IFPRun{},
+		ifpSite: map[*ast.Fixpoint]int{},
 		globals: map[string]xdm.Sequence{},
 	}
 	var ctx dynCtx

@@ -42,6 +42,7 @@ type evaluator struct {
 	globalEnv *env
 	callDepth int
 	ifpAgg    map[*ast.Fixpoint]*IFPRun
+	ifpSite   map[*ast.Fixpoint]int // fixpoint site → Trace site index
 	// evalTick samples the budget deadline check: one time.Now() per
 	// 1024 eval calls keeps long non-fixpoint evaluations bounded without
 	// a clock read in the hot path.
@@ -616,12 +617,21 @@ func (ev *evaluator) evalFixpoint(n *ast.Fixpoint, en *env, ctx dynCtx) (xdm.Seq
 	payload := func(xs xdm.Sequence) (xdm.Sequence, error) {
 		return ev.eval(n.Body, en.bind(n.Var, xs), ctx)
 	}
-	val, stats, err := core.RunWith(run.Algorithm, seed, payload, core.Config{
+	cfg := core.Config{
 		MaxIterations: ev.engine.opts.MaxIterations,
 		Parallelism:   ev.engine.opts.Parallelism,
 		Context:       ev.engine.opts.Context,
 		Budget:        ev.engine.opts.Budget,
-	})
+	}
+	if tr := ev.engine.opts.Trace; tr != nil {
+		site, ok := ev.ifpSite[n]
+		if !ok {
+			site = tr.AddSite("$" + n.Var + " " + run.Algorithm.String())
+			ev.ifpSite[n] = site
+		}
+		cfg.Trace, cfg.TraceSite = tr, site
+	}
+	val, stats, err := core.RunWith(run.Algorithm, seed, payload, cfg)
 	run.Executions++
 	run.Stats.Add(stats)
 	if err != nil {

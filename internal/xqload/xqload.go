@@ -18,6 +18,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Class is one kind of query in the offered mix.
@@ -49,6 +51,11 @@ type Options struct {
 	Classes []Class
 	// Client overrides the HTTP client (tests inject the httptest client).
 	Client *http.Client
+	// MetricsURL, when set, is scraped (Prometheus text format) before and
+	// after the run; the nonzero per-series deltas land in Report.Server,
+	// letting a run cross-check the client-side outcome taxonomy against
+	// the server's own counters.
+	MetricsURL string
 }
 
 // Counts classifies request outcomes by response status.
@@ -112,6 +119,11 @@ type Report struct {
 	GoodputQPS float64       `json:"goodput_qps"`
 	RetryAfter int64         `json:"retry_after"` // 429s carrying a Retry-After header
 	Classes    []ClassReport `json:"classes"`
+	// Server holds the nonzero per-series deltas of the server's /metrics
+	// counters across the run (only when Options.MetricsURL was set).
+	// Histogram series are included, so goodput latency distributions from
+	// the server's view ride along for free.
+	Server map[string]float64 `json:"server,omitempty"`
 }
 
 type outcome int
@@ -207,6 +219,18 @@ func Run(ctx context.Context, o Options) (*Report, error) {
 
 	rec := &recorder{perClass: make(map[string]*classAcc, len(o.Classes))}
 
+	// Scrape outside the offered window so the deltas cover exactly the
+	// run's own requests (the generator is the server's only client in the
+	// harness configurations that set MetricsURL).
+	var before map[string]float64
+	if o.MetricsURL != "" {
+		m, err := scrapeMetrics(ctx, client, o.MetricsURL)
+		if err != nil {
+			return nil, fmt.Errorf("xqload: scrape before run: %w", err)
+		}
+		before = m
+	}
+
 	// Arrivals follow an absolute schedule (arrival n fires at
 	// start + n/Rate) rather than a ticker: a ticker coalesces missed
 	// ticks, silently lowering the offered rate exactly when the machine
@@ -242,7 +266,31 @@ arrivals:
 	}
 	wg.Wait()
 
-	return rec.report(o), nil
+	report := rec.report(o)
+	if o.MetricsURL != "" {
+		after, err := scrapeMetrics(ctx, client, o.MetricsURL)
+		if err != nil {
+			return nil, fmt.Errorf("xqload: scrape after run: %w", err)
+		}
+		report.Server = obs.DeltaSeries(before, after)
+	}
+	return report, nil
+}
+
+func scrapeMetrics(ctx context.Context, client *http.Client, u string) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: status %d", u, resp.StatusCode)
+	}
+	return obs.ParsePromText(resp.Body)
 }
 
 func doRequest(ctx context.Context, client *http.Client, u string) (outcome, time.Duration, bool) {
