@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-store bench-parallel bench-opt bench-check bench-baseline cover fmt-check fuzz explain explain-update vet ci clean loadsmoke obs-check
+.PHONY: all build test bench bench-json bench-store bench-parallel bench-opt bench-check bench-baseline cover fmt-check fuzz explain explain-update vet ci clean loadsmoke obs-check cache-check
 
 all: build test
 
@@ -56,11 +56,19 @@ loadsmoke:
 obs-check:
 	$(GO) test -run 'TestTracingParity' -count=1 ./internal/difftest
 
+# Caching gate: same seed block, every configuration evaluated uncached
+# and then under plan cache / result cache / both (each twice, so the
+# second pass serves from warm caches). Results, errors, and fixpoint
+# statistics must stay byte-identical, and warm caches must record hits.
+cache-check:
+	$(GO) test -run 'TestCachingParity' -count=1 ./internal/difftest
+
 # What CI runs (see .github/workflows/ci.yml). The -race pass covers the
 # concurrent store/xqd tests and the parallel fixpoint pools; the plain
 # pass runs the differential-harness seed block (internal/difftest); the
 # coverage step enforces the internal/algebra floor; loadsmoke gates the
-# overload/degradation contract; obs-check gates tracing-on/off parity.
+# overload/degradation contract; obs-check gates tracing-on/off parity;
+# cache-check gates caches-on/off parity.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -68,6 +76,7 @@ ci:
 	$(MAKE) fuzz FUZZTIME=10s
 	$(MAKE) cover
 	$(MAKE) obs-check
+	$(MAKE) cache-check
 	$(MAKE) loadsmoke
 
 # Differential fuzzing: random documents + random fixpoint queries, every

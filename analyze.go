@@ -64,6 +64,10 @@ func (q *Query) Analyze(opts Options) (*AnalyzeReport, error) {
 		tr = obs.NewTrace(obs.NextQueryID())
 		opts.Trace = tr
 	}
+	// Analyze measures the evaluation; serving a cached result would
+	// leave nothing to measure. The plan cache stays live — a hit shows
+	// up as the compile/optimize phases vanishing from the report.
+	opts.ResultCache = nil
 	// Parsing happened in Parse before the trace existed; re-parse the
 	// source so the report covers the full pipeline. Queries compiled
 	// from other front ends (ParseRegularXPath) skip the phase.
@@ -87,10 +91,11 @@ func (q *Query) Analyze(opts Options) (*AnalyzeReport, error) {
 	switch opts.Engine {
 	case EngineRelational:
 		prof := obs.NewPlanProfile()
-		en, err := q.newRelationalEngine(&opts, budget, docs, prof)
+		plan, _, err := q.relationalPlan(&opts)
 		if err != nil {
 			return nil, err
 		}
+		en := relationalEngine(plan, &opts, budget, docs, prof)
 		res, evalErr = relationalResult(en)
 		rep.Plan = algebra.ExplainWith(en.Plan().Root, analyzeAnnotator(en.Plan().Root, prof))
 	default:

@@ -1,0 +1,141 @@
+// Cache sweep: every cell measured through the public ifpxq entry points
+// with the plan and result caches off and on (entries suffixed /cache=N),
+// so a snapshot records what the caching layer buys per (experiment,
+// engine, algorithm) cell. cache=0 evaluates from scratch each iteration
+// — the same work xqd does for a novel query — while cache=1 shares one
+// warm PlanCache and ResultCache across iterations, the repeat-query
+// serving path.
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	ifpxq "repro"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/xdm"
+)
+
+// writeCacheSweep measures each cell at cache=0 and cache=1 and writes
+// one entry per (cell, cache setting).
+func writeCacheSweep(path string, exps []bench.Experiment, parallelism int) error {
+	if path == "" {
+		return fmt.Errorf("-cache-sweep requires -json <file>")
+	}
+	out := newBenchFile()
+	for _, e := range exps {
+		entries, err := measureCacheCells(e, parallelism)
+		if err != nil {
+			return err
+		}
+		out.Entries = append(out.Entries, entries...)
+	}
+	return writeBenchFile(path, out)
+}
+
+// measureCacheCells benchmarks one experiment's four cells uncached and
+// cached. The document is generated and parsed once for the whole sweep
+// and served by an in-memory resolver, so the cells isolate the query
+// pipeline (parse/compile/optimize/eval) rather than document I/O — the
+// result cache's generation is pinned (nil store), matching documents
+// that are immutable for the process lifetime.
+func measureCacheCells(e bench.Experiment, parallelism int) ([]BenchEntry, error) {
+	doc, err := ifpxq.ParseDocument(e.DocXML(), e.DocURI)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	docs := ifpxq.DocsFromDocuments(map[string]*xdm.Document{e.DocURI: doc})
+
+	var entries []BenchEntry
+	for _, cached := range []bool{false, true} {
+		for _, engine := range []string{bench.EngineInterp, bench.EngineRelational} {
+			for _, alg := range []core.Algorithm{core.Naive, core.Delta} {
+				name := fmt.Sprintf("%s/%s/%s/%s/cache=%d", e.ID, e.Name, engine, alg, boolToInt(cached))
+				fmt.Fprintf(os.Stderr, "measuring %s…\n", name)
+				runtime.GC()
+				runtime.GC()
+
+				opts := ifpxq.Options{Docs: docs, Parallelism: parallelism}
+				if engine == bench.EngineRelational {
+					opts.Engine = ifpxq.EngineRelational
+				}
+				if alg == core.Delta {
+					opts.Mode = ifpxq.ModeDelta
+				} else {
+					opts.Mode = ifpxq.ModeNaive
+				}
+				// One cache pair per cell, warmed before the timed region:
+				// the measurement is the steady-state hit path, not the
+				// first-miss amortization.
+				var pc *ifpxq.PlanCache
+				if cached {
+					pc = ifpxq.NewPlanCache(16)
+					opts.PlanCache = pc
+					opts.ResultCache = ifpxq.NewResultCache(16, nil)
+				}
+				parse := func() (*ifpxq.Query, error) { return pc.Parse(e.Query) }
+				if q, err := parse(); err != nil {
+					return nil, fmt.Errorf("%s: %w", name, err)
+				} else if cached {
+					if _, err := q.Eval(opts); err != nil {
+						return nil, fmt.Errorf("%s warmup: %w", name, err)
+					}
+				}
+
+				var fps []ifpxq.FixpointStats
+				var runErr error
+				res := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						// Parsing is inside the timed region for both
+						// settings: cache=0 pays it, cache=1 reuses the
+						// parsed query, exactly as xqd's handler does.
+						q, err := parse()
+						if err == nil {
+							var r *ifpxq.Result
+							r, err = q.Eval(opts)
+							if err == nil {
+								fps = r.Fixpoints
+							}
+						}
+						if err != nil {
+							runErr = err
+							b.FailNow()
+						}
+					}
+				})
+				if runErr != nil {
+					return nil, fmt.Errorf("%s: %w", name, runErr)
+				}
+				if res.N == 0 {
+					return nil, fmt.Errorf("%s: benchmark produced no measurement", name)
+				}
+				entry := BenchEntry{
+					Name:     name,
+					Phase:    "snapshot",
+					NsOp:     float64(res.NsPerOp()),
+					BytesOp:  res.AllocedBytesPerOp(),
+					AllocsOp: res.AllocsPerOp(),
+				}
+				for _, fp := range fps {
+					entry.NodesFed += fp.Stats.NodesFedBack
+					if fp.Stats.Depth > entry.Depth {
+						entry.Depth = fp.Stats.Depth
+					}
+				}
+				entries = append(entries, entry)
+			}
+		}
+	}
+	return entries, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

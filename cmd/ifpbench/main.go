@@ -26,6 +26,10 @@
 //	                           # worker-count sweep over the fixpoint
 //	                           # workloads: one entry per (cell, p), names
 //	                           # suffixed /p=N, so speedups are diffable
+//	ifpbench -cache-sweep -json BENCH_8.json
+//	                           # every cell uncached vs through warm plan
+//	                           # and result caches (…/cache=N entries):
+//	                           # what the caching layer buys on repeats
 package main
 
 import (
@@ -44,15 +48,16 @@ import (
 
 func main() {
 	var (
-		expID     = flag.String("exp", "", "run a single experiment (id or name)")
-		list      = flag.Bool("list", false, "list experiments")
-		markdown  = flag.Bool("markdown", false, "emit a markdown table")
-		jsonPath  = flag.String("json", "", "write a machine-readable benchmark snapshot to this file")
-		storeMode = flag.Bool("store", false, "benchmark the document store open paths instead of Table 2")
-		parallel  = flag.Int("p", 1, "fixpoint worker-pool width (0 = GOMAXPROCS)")
-		sweep     = flag.String("parallel", "", "comma-separated worker counts to sweep (e.g. 1,2,4,8); writes one entry per (cell, p)")
-		optLevel  = flag.Int("O", 1, "relational plan optimizer level (0 = verbatim plan, 1 = rewrite rules on)")
-		optSweep  = flag.Bool("opt-sweep", false, "measure every cell at -O0 and -O1 (entries suffixed /O=N); requires -json")
+		expID      = flag.String("exp", "", "run a single experiment (id or name)")
+		list       = flag.Bool("list", false, "list experiments")
+		markdown   = flag.Bool("markdown", false, "emit a markdown table")
+		jsonPath   = flag.String("json", "", "write a machine-readable benchmark snapshot to this file")
+		storeMode  = flag.Bool("store", false, "benchmark the document store open paths instead of Table 2")
+		parallel   = flag.Int("p", 1, "fixpoint worker-pool width (0 = GOMAXPROCS)")
+		sweep      = flag.String("parallel", "", "comma-separated worker counts to sweep (e.g. 1,2,4,8); writes one entry per (cell, p)")
+		optLevel   = flag.Int("O", 1, "relational plan optimizer level (0 = verbatim plan, 1 = rewrite rules on)")
+		optSweep   = flag.Bool("opt-sweep", false, "measure every cell at -O0 and -O1 (entries suffixed /O=N); requires -json")
+		cacheSweep = flag.Bool("cache-sweep", false, "measure every cell uncached and through warm plan/result caches (entries suffixed /cache=N); requires -json")
 	)
 	flag.Parse()
 
@@ -86,6 +91,17 @@ func main() {
 			}
 			exps = append(exps, e)
 		}
+	}
+
+	if *cacheSweep {
+		if *expID == "" {
+			exps = sweepDefaults()
+		}
+		if err := writeCacheSweep(*jsonPath, exps, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "ifpbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *optSweep {

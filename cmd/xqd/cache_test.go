@@ -1,0 +1,219 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/obs"
+	"repro/internal/store"
+	"repro/internal/xmldoc"
+)
+
+// cacheTestServer builds a server over one snapshot document whose backing
+// file the test can rewrite, returning the snapshot path alongside the
+// usual pair.
+func cacheTestServer(t *testing.T) (*server, *httptest.Server, string) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.xml"+store.Ext)
+	doc, err := xmldoc.ParseString("<r><a/></r>", "d.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(st)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return srv, hs, path
+}
+
+// TestStaleDocumentOverHTTP is the end-to-end regression for the stale
+// serving bug: with both caches on, replacing a snapshot on disk must be
+// visible on the very next request — the fingerprint check drops the
+// document, the generation bump flushes the result cache, and the
+// invalidation counters move in /stats.
+func TestStaleDocumentOverHTTP(t *testing.T) {
+	_, hs, path := cacheTestServer(t)
+	q := url.QueryEscape(`count(doc("d.xml")//a)`)
+
+	get := func(extra string) string {
+		t.Helper()
+		var resp queryResponse
+		if code := getJSON(t, hs.URL+"/query?engine=rel&q="+q+extra, &resp); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		return resp.Result
+	}
+	if got := get(""); got != "1" {
+		t.Fatalf("first eval: %s", got)
+	}
+	if got := get(""); got != "1" {
+		t.Fatalf("repeat eval: %s", got)
+	}
+	var warm statsResponse
+	getJSON(t, hs.URL+"/stats", &warm)
+	if warm.ResultCache.Hits != 1 || warm.ResultCache.Entries == 0 {
+		t.Fatalf("repeat query missed the result cache: %+v", warm.ResultCache)
+	}
+	if warm.PlanCache.Hits == 0 {
+		t.Fatalf("repeat query missed the plan cache: %+v", warm.PlanCache)
+	}
+
+	doc, err := xmldoc.ParseString("<r><a/><a/><a/></r>", "d.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // ensure the snapshot mtime advances
+	if err := store.Save(path, doc); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := get(""); got != "3" {
+		t.Fatalf("request after rewrite served a stale result: %s", got)
+	}
+	var stats statsResponse
+	getJSON(t, hs.URL+"/stats", &stats)
+	if stats.Cache.Invalidations == 0 {
+		t.Fatalf("store invalidations did not move: %+v", stats.Cache)
+	}
+	if stats.ResultCache.Invalidations == 0 {
+		t.Fatalf("result-cache invalidations did not move: %+v", stats.ResultCache)
+	}
+	if stats.Cache.Generation == 0 {
+		t.Fatalf("store generation still 0: %+v", stats.Cache)
+	}
+	// The fresh result is itself cached again.
+	if got := get(""); got != "3" {
+		t.Fatalf("recached eval: %s", got)
+	}
+}
+
+// TestCacheParam checks the ?cache= escape hatch: cache=0 evaluations
+// leave both caches untouched, cache=2 is a 400, and ?cache=0 composes
+// with a warm cache (the bypass recomputes, the next cached request still
+// hits).
+func TestCacheParam(t *testing.T) {
+	_, hs, _ := cacheTestServer(t)
+	q := url.QueryEscape(`count(doc("d.xml")//a)`)
+
+	var resp queryResponse
+	for i := 0; i < 2; i++ {
+		if code := getJSON(t, hs.URL+"/query?engine=rel&cache=0&q="+q, &resp); code != http.StatusOK {
+			t.Fatalf("cache=0 status %d", code)
+		}
+	}
+	var stats statsResponse
+	getJSON(t, hs.URL+"/stats", &stats)
+	if s := stats.PlanCache; s.Hits+s.Misses+int64(s.Entries) != 0 {
+		t.Fatalf("cache=0 touched the plan cache: %+v", s)
+	}
+	if s := stats.ResultCache; s.Hits+s.Misses+int64(s.Entries) != 0 {
+		t.Fatalf("cache=0 touched the result cache: %+v", s)
+	}
+
+	var e errorResponse
+	if code := getJSON(t, hs.URL+"/query?cache=2&q="+q, &e); code != http.StatusBadRequest {
+		t.Fatalf("cache=2 status %d, want 400", code)
+	}
+
+	// Warm the caches, bypass once, then hit again.
+	if code := getJSON(t, hs.URL+"/query?engine=rel&q="+q, &resp); code != http.StatusOK {
+		t.Fatalf("warm status %d", code)
+	}
+	if code := getJSON(t, hs.URL+"/query?engine=rel&cache=0&q="+q, &resp); code != http.StatusOK {
+		t.Fatalf("bypass status %d", code)
+	}
+	if code := getJSON(t, hs.URL+"/query?engine=rel&q="+q, &resp); code != http.StatusOK {
+		t.Fatalf("hit status %d", code)
+	}
+	getJSON(t, hs.URL+"/stats", &stats)
+	if stats.ResultCache.Hits != 1 || stats.ResultCache.Misses != 1 {
+		t.Fatalf("bypass perturbed the cached path: %+v", stats.ResultCache)
+	}
+}
+
+// TestCacheMetrics checks the /metrics cache families move with traffic:
+// a repeated relational query lands one plan-cache and one result-cache
+// hit, and the entries gauges go nonzero.
+func TestCacheMetrics(t *testing.T) {
+	_, hs := testServer(t, store.Options{})
+	q := url.QueryEscape(fixpointQuery)
+
+	scrape := func() map[string]float64 {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		m, err := obs.ParsePromText(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	before := scrape()
+	var resp queryResponse
+	for i := 0; i < 2; i++ {
+		if code := getJSON(t, hs.URL+"/query?engine=rel&q="+q, &resp); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+	}
+	after := scrape()
+	delta := obs.DeltaSeries(before, after)
+	for series, want := range map[string]float64{
+		"xqd_plan_cache_hits_total":     1,
+		"xqd_plan_cache_misses_total":   1,
+		"xqd_result_cache_hits_total":   1,
+		"xqd_result_cache_misses_total": 1,
+	} {
+		if delta[series] != want {
+			t.Errorf("%s delta = %g, want %g", series, delta[series], want)
+		}
+	}
+	for _, gauge := range []string{"xqd_plan_cache_entries", "xqd_result_cache_entries"} {
+		if after[gauge] == 0 {
+			t.Errorf("%s still 0 after a cached query", gauge)
+		}
+	}
+	if _, ok := after["xqd_store_generation"]; !ok {
+		t.Error("xqd_store_generation missing from the scrape")
+	}
+}
+
+// TestTimeoutTightensUnboundedDeadline pins the ?timeout_ms= contract on
+// a server running with -query-timeout=0: "unbounded by default" must
+// still let a request tighten the deadline, so the runaway query comes
+// back as a 422 deadline truncation rather than hanging forever.
+func TestTimeoutTightensUnboundedDeadline(t *testing.T) {
+	srv, hs := testServer(t, store.Options{}, func(s *server) {
+		s.queryTimeout = 0 // -query-timeout=0: no server-side deadline
+		s.ctrl = admission.New(admission.Options{Capacity: 4, QueueLimit: 4, QueueTimeout: time.Second})
+	})
+	var e errorResponse
+	code := getJSON(t, hs.URL+"/query?timeout_ms=100&q="+url.QueryEscape(runawayQuery), &e)
+	if code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", code)
+	}
+	if e.Code != "IFPX0002" {
+		t.Fatalf("code %q, want the deadline code IFPX0002", e.Code)
+	}
+	if !strings.Contains(e.Error, "deadline") {
+		t.Fatalf("error does not mention the deadline: %q", e.Error)
+	}
+	if n := srv.snapshot().Timeouts; n != 1 {
+		t.Fatalf("timeouts counter = %d, want 1", n)
+	}
+}

@@ -40,7 +40,9 @@ func TestLoadSmoke(t *testing.T) {
 		Duration:   5 * time.Second,
 		Client:     &http.Client{Timeout: 10 * time.Second},
 		Classes: []xqload.Class{
-			{Name: "scan", Query: `count(doc("curriculum.xml")//*)`, Weight: 5},
+			// The scan class runs relational so its repeats exercise both
+			// the plan cache and the result cache under load.
+			{Name: "scan", Query: `count(doc("curriculum.xml")//*)`, Extra: "engine=rel", Weight: 5},
 			{Name: "fixpoint", Query: fixpointQuery, Weight: 2},
 			{Name: "runaway", Query: runawayQuery, Extra: "timeout_ms=200", Weight: 1},
 		},
@@ -104,5 +106,15 @@ func TestLoadSmoke(t *testing.T) {
 	}
 	if qw := d("xqd_queue_wait_seconds_count"); qw != report.Sent {
 		t.Errorf("queue-wait histogram observed %d requests, client sent %d", qw, report.Sent)
+	}
+	// The repeat-query classes must actually be served from the caches:
+	// every scan after the first is a plan-cache hit, and its successes
+	// after the first are result-cache hits. (The runaway class never
+	// caches — truncated results are not complete results.)
+	if hits := d("xqd_plan_cache_hits_total"); hits == 0 {
+		t.Error("repeat relational queries produced no plan-cache hits")
+	}
+	if hits := d("xqd_result_cache_hits_total"); hits == 0 {
+		t.Error("repeat queries produced no result-cache hits")
 	}
 }

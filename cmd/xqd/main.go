@@ -19,13 +19,22 @@
 // Usage:
 //
 //	xqd -store snapshots/ [-addr :8090] [-mmap] [-cache-bytes N] [-cache-docs N]
+//	    [-plan-cache N] [-result-cache N]
 //	    [-p workers] [-O 0|1] [-query-timeout 30s] [-max-concurrent N]
 //	    [-queue-limit N] [-queue-timeout 15s] [-max-p N] [-max-body N]
 //	    [-max-rows N] [-max-rounds N] [-drain-timeout 10s]
 //
+// Repeat queries are served from two caches layered over the store: a
+// compiled-plan cache (parsed queries + optimized relational plans, keyed
+// by source text and compile options) and a result cache (complete
+// results only, keyed by plan hash and budget, valid for exactly one
+// store generation — any document replaced on disk, evicted, or purged
+// flushes it). ?cache=0 bypasses both for one request; -plan-cache 0 /
+// -result-cache 0 disable them server-wide.
+//
 // Endpoints:
 //
-//	GET/POST /query?q=…&engine=interp|rel&mode=auto|naive|delta&p=N&opt=0|1&timeout_ms=N
+//	GET/POST /query?q=…&engine=interp|rel&mode=auto|naive|delta&p=N&opt=0|1&timeout_ms=N&cache=0|1
 //	    evaluates q (POST bodies carry the query text when q is absent)
 //	    and returns JSON including elapsed_us and doc_wait_us — the part
 //	    of the latency spent resolving documents, 0 on a warm cache.
@@ -83,6 +92,8 @@ func main() {
 		cacheBytes = flag.Int64("cache-bytes", 0, "document cache byte budget (0 = unbounded)")
 		cacheDocs  = flag.Int("cache-docs", 0, "document cache entry budget (0 = unbounded)")
 		noParse    = flag.Bool("no-parse", false, "serve snapshots only, never parse XML")
+		planCacheN = flag.Int("plan-cache", 256, "compiled-plan cache entries (0 = disabled); also bounds the parsed-query cache")
+		resCacheN  = flag.Int("result-cache", 512, "result cache entries (0 = disabled); entries flush when any store document changes")
 		parallel   = flag.Int("p", 1, "default fixpoint worker-pool width per query (0 = GOMAXPROCS)")
 		optLevel   = flag.Int("O", 1, "default relational plan optimizer level (0 = verbatim plan)")
 
@@ -118,6 +129,7 @@ func main() {
 		os.Exit(1)
 	}
 	srv := newServer(st)
+	srv.setCaches(*planCacheN, *resCacheN)
 	srv.parallelism = *parallel
 	srv.opt0 = *optLevel == 0
 	srv.logRequests = *logRequests
@@ -205,7 +217,13 @@ type server struct {
 	maxP        int
 	// opt0 disables the relational plan optimizer by default; requests
 	// override per query with ?opt=0|1.
-	opt0         bool
+	opt0 bool
+	// planCache holds parsed queries and compiled relational plans;
+	// resultCache holds complete results pinned to the store generation.
+	// Either may be nil (disabled via -plan-cache/-result-cache 0); a
+	// request opts out of both with ?cache=0.
+	planCache    *ifpxq.PlanCache
+	resultCache  *ifpxq.ResultCache
 	queryTimeout time.Duration // 0 = unbounded; ?timeout_ms= only tightens
 	maxBody      int64
 	maxRows      int64
@@ -315,6 +333,37 @@ func newServerMetrics(s *server) *serverMetrics {
 		cacheStat(func(st store.CacheStats) float64 { return float64(st.Bytes) }))
 	reg.GaugeFunc("xqd_cache_docs", "Resident documents.",
 		cacheStat(func(st store.CacheStats) float64 { return float64(st.Docs) }))
+	reg.CounterFunc("xqd_cache_invalidations_total", "Documents dropped because their backing file changed on disk.",
+		cacheStat(func(st store.CacheStats) float64 { return float64(st.Invalidations) }))
+	reg.GaugeFunc("xqd_store_generation", "Store cache generation; moves whenever any document leaves the cache.",
+		cacheStat(func(st store.CacheStats) float64 { return float64(st.Generation) }))
+	// The plan/result cache families read through the nil-safe Stats
+	// methods, so a server running with either cache disabled scrapes
+	// zeros rather than losing the series.
+	planStat := func(pick func(ifpxq.CacheStats) float64) func() float64 {
+		return func() float64 { return pick(s.planCache.Stats()) }
+	}
+	reg.CounterFunc("xqd_plan_cache_hits_total", "Compiled-plan cache hits.",
+		planStat(func(st ifpxq.CacheStats) float64 { return float64(st.Hits) }))
+	reg.CounterFunc("xqd_plan_cache_misses_total", "Compiled-plan cache misses.",
+		planStat(func(st ifpxq.CacheStats) float64 { return float64(st.Misses) }))
+	reg.CounterFunc("xqd_plan_cache_evictions_total", "Compiled plans dropped by LRU pressure.",
+		planStat(func(st ifpxq.CacheStats) float64 { return float64(st.Evictions) }))
+	reg.GaugeFunc("xqd_plan_cache_entries", "Compiled plans resident.",
+		planStat(func(st ifpxq.CacheStats) float64 { return float64(st.Entries) }))
+	resStat := func(pick func(ifpxq.CacheStats) float64) func() float64 {
+		return func() float64 { return pick(s.resultCache.Stats()) }
+	}
+	reg.CounterFunc("xqd_result_cache_hits_total", "Result cache hits (complete results served without evaluation).",
+		resStat(func(st ifpxq.CacheStats) float64 { return float64(st.Hits) }))
+	reg.CounterFunc("xqd_result_cache_misses_total", "Result cache misses.",
+		resStat(func(st ifpxq.CacheStats) float64 { return float64(st.Misses) }))
+	reg.CounterFunc("xqd_result_cache_evictions_total", "Results dropped by LRU pressure.",
+		resStat(func(st ifpxq.CacheStats) float64 { return float64(st.Evictions) }))
+	reg.CounterFunc("xqd_result_cache_invalidations_total", "Results flushed by store generation changes.",
+		resStat(func(st ifpxq.CacheStats) float64 { return float64(st.Invalidations) }))
+	reg.GaugeFunc("xqd_result_cache_entries", "Results resident.",
+		resStat(func(st ifpxq.CacheStats) float64 { return float64(st.Entries) }))
 	return m
 }
 
@@ -333,6 +382,7 @@ func newServer(st *store.Store) *server {
 		QueueLimit:   64,
 		QueueTimeout: 15 * time.Second,
 	})
+	s.setCaches(256, 512)
 	s.logf = log.Printf
 	s.metrics = newServerMetrics(s)
 	s.mux.HandleFunc("/query", s.handleQuery)
@@ -340,6 +390,19 @@ func newServer(st *store.Store) *server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
+}
+
+// setCaches sizes (or disables, at 0) the plan and result caches. The
+// result cache is tied to the server's store, so a document replaced on
+// disk flushes cached results through the generation bump.
+func (s *server) setCaches(planN, resultN int) {
+	s.planCache, s.resultCache = nil, nil
+	if planN > 0 {
+		s.planCache = ifpxq.NewPlanCache(planN)
+	}
+	if resultN > 0 {
+		s.resultCache = ifpxq.NewResultCache(resultN, s.store)
+	}
 }
 
 // ServeHTTP recovers handler panics into a 500 and a counter: one bad
@@ -530,6 +593,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		badRequest(fmt.Errorf("bad analyze %q (use 0 or 1)", r.URL.Query().Get("analyze")))
 		return
 	}
+	// ?cache=0 is the per-request escape hatch: parse, compile, and
+	// evaluate from scratch, touching neither cache.
+	useCaches := true
+	switch r.URL.Query().Get("cache") {
+	case "", "1", "true":
+	case "0", "false":
+		useCaches = false
+	default:
+		badRequest(fmt.Errorf("bad cache %q (use 0 or 1)", r.URL.Query().Get("cache")))
+		return
+	}
 	timeout := s.queryTimeout
 	if tv := r.URL.Query().Get("timeout_ms"); tv != "" {
 		ms, err := strconv.Atoi(tv)
@@ -543,8 +617,17 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Parse before admission: malformed queries should not consume (or
-	// wait for) evaluation capacity.
-	q, err := ifpxq.Parse(src)
+	// wait for) evaluation capacity. A caching request parses through the
+	// plan cache, so a repeat query skips the parser entirely (a nil
+	// PlanCache parses directly).
+	var q *ifpxq.Query
+	var err error
+	if useCaches {
+		q, err = s.planCache.Parse(src)
+		opts.PlanCache, opts.ResultCache = s.planCache, s.resultCache
+	} else {
+		q, err = ifpxq.Parse(src)
+	}
 	if err != nil {
 		fail(http.StatusBadRequest, string(xdm.CodeOf(err)), err, "parse_error", errorResponse{})
 		return
@@ -672,7 +755,11 @@ type statsResponse struct {
 	Admission admission.Stats  `json:"admission"`
 	Store     storeJSON        `json:"store"`
 	Cache     store.CacheStats `json:"cache"`
-	Docs      []store.DocInfo  `json:"docs"`
+	// PlanCache and ResultCache snapshot the query-layer caches; all-zero
+	// when the corresponding cache is disabled.
+	PlanCache   ifpxq.CacheStats `json:"plan_cache"`
+	ResultCache ifpxq.CacheStats `json:"result_cache"`
+	Docs        []store.DocInfo  `json:"docs"`
 }
 
 type storeJSON struct {
@@ -686,15 +773,17 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	// never jumps with wall-clock adjustments.
 	c := s.snapshot()
 	writeJSON(w, http.StatusOK, statsResponse{
-		UptimeS:   time.Since(s.started).Seconds(),
-		Queries:   c.Queries,
-		Timeouts:  c.Timeouts,
-		Panics:    c.Panics,
-		Draining:  s.draining.Load(),
-		Admission: s.ctrl.Stats(),
-		Store:     storeJSON{Dir: s.store.Dir(), Mmap: s.store.Mmap()},
-		Cache:     s.store.Cache().Stats(),
-		Docs:      s.store.Cache().Docs(),
+		UptimeS:     time.Since(s.started).Seconds(),
+		Queries:     c.Queries,
+		Timeouts:    c.Timeouts,
+		Panics:      c.Panics,
+		Draining:    s.draining.Load(),
+		Admission:   s.ctrl.Stats(),
+		Store:       storeJSON{Dir: s.store.Dir(), Mmap: s.store.Mmap()},
+		Cache:       s.store.Cache().Stats(),
+		PlanCache:   s.planCache.Stats(),
+		ResultCache: s.resultCache.Stats(),
+		Docs:        s.store.Cache().Docs(),
 	})
 }
 

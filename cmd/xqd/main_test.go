@@ -183,6 +183,10 @@ func TestConcurrentParallelQueries(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := newServer(st)
+	// Result caching off: a hit would skip document resolution and stop
+	// exercising eviction/reload races. The plan cache stays on — shared
+	// compiled plans across concurrent evaluations are a race target too.
+	srv.resultCache = nil
 	hs := httptest.NewServer(srv)
 	defer hs.Close()
 
@@ -393,12 +397,30 @@ func TestAnalyzeParam(t *testing.T) {
 		t.Fatalf("query id %q vs header %q", an.QueryID, hresp.Header.Get("X-Query-ID"))
 	}
 	for _, want := range []string{
-		"explain analyze " + an.QueryID, "phase compile", "phase exec",
+		"explain analyze " + an.QueryID, "phase exec",
 		"calls=", "fixpoint site", "round 0: fed=",
 	} {
 		if !strings.Contains(an.Analyze, want) {
 			t.Errorf("analyze output misses %q:\n%s", want, an.Analyze)
 		}
+	}
+	// The plain query warmed the plan cache, so the analyze run above hit
+	// it and its report must show the cache win: no compile or optimize
+	// phase. ?cache=0 bypasses the cache and restores the full pipeline.
+	for _, absent := range []string{"phase compile", "phase optimize"} {
+		if strings.Contains(an.Analyze, absent) {
+			t.Errorf("analyze on a warm plan cache still reports %q:\n%s", absent, an.Analyze)
+		}
+	}
+	var cold queryResponse
+	if code := getJSON(t, hs.URL+"/query?engine=rel&analyze=1&cache=0&q="+q, &cold); code != http.StatusOK {
+		t.Fatalf("cache=0 analyze status %d", code)
+	}
+	if !strings.Contains(cold.Analyze, "phase compile") {
+		t.Errorf("cache=0 analyze misses the compile phase:\n%s", cold.Analyze)
+	}
+	if cold.Result != plain.Result {
+		t.Fatalf("cache=0 analyze perturbed the result: %q vs %q", cold.Result, plain.Result)
 	}
 	// The interpreter engine has no plan stage but still reports phases
 	// and per-round spans.

@@ -37,9 +37,11 @@ func defaultClasses(doc string) []xqload.Class {
 	return []xqload.Class{
 		{
 			// Cheap: one document scan, no recursion. The bulk of the mix,
-			// as in any realistic workload.
+			// as in any realistic workload. Runs relational so its repeats
+			// exercise the compiled-plan cache as well as the result cache.
 			Name:   "scan",
 			Query:  fmt.Sprintf(`count(doc(%q)//*)`, doc),
+			Extra:  "engine=rel",
 			Weight: 6,
 		},
 		{

@@ -183,6 +183,21 @@ type Options struct {
 	// it (guarded by internal/difftest CheckTracing), and a nil Trace
 	// costs only nil checks. Query.Analyze supplies one automatically.
 	Trace *obs.Trace
+	// PlanCache, when set, reuses compiled, optimized relational plans
+	// across evaluations keyed on (source, mode, strict, opt level), so a
+	// repeat query skips the compile and optimize phases entirely. Plans
+	// are immutable after compilation (all execution state is per-run),
+	// so one cache is safe under any concurrency. Caching is
+	// semantics-preserving: results, errors, and fixpoint statistics are
+	// byte-identical with and without it (difftest CheckCaching).
+	PlanCache *PlanCache
+	// ResultCache, when set, serves repeat evaluations their complete
+	// cached result, keyed on the plan's structural hash plus the
+	// deterministic budget options, and valid only while the document
+	// store's generation stands still. Incomplete outcomes (errors,
+	// budget truncations) are never cached, and evaluations with a
+	// ContextItem bypass the cache (node identity cannot key it safely).
+	ResultCache *ResultCache
 }
 
 // budget assembles the per-evaluation resource budget; nil when nothing
@@ -209,6 +224,10 @@ func (o *Options) resolver() (DocResolver, func()) {
 type Query struct {
 	src    string
 	module *ast.Module
+	// rxp marks queries translated from Regular XPath, whose source text
+	// lives in a different language than XQuery — cache keys must keep
+	// the two namespaces apart even when the text coincides.
+	rxp bool
 }
 
 // Parse parses XQuery source (prolog + body).
@@ -237,7 +256,7 @@ func ParseRegularXPath(src string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{src: src, module: &ast.Module{Body: p.Expr()}}, nil
+	return &Query{src: src, module: &ast.Module{Body: p.Expr()}, rxp: true}, nil
 }
 
 // Module exposes the parsed AST (analysis tooling).
@@ -393,15 +412,49 @@ func (q *Query) Eval(opts Options) (*Result, error) {
 	if opts.Trace != nil && docs != nil {
 		docs = tracedDocs(opts.Trace, docs)
 	}
+	rcache := opts.ResultCache
+	if opts.ContextItem != nil {
+		// A context item is bound by node identity; no stable key exists.
+		rcache = nil
+	}
 	switch opts.Engine {
 	case EngineRelational:
-		en, err := q.newRelationalEngine(&opts, budget, docs, nil)
+		plan, planHash, err := q.relationalPlan(&opts)
 		if err != nil {
 			return nil, err
 		}
-		return relationalResult(en)
+		if rcache == nil {
+			return relationalResult(relationalEngine(plan, &opts, budget, docs, nil))
+		}
+		key := resultKey(&opts, planHash)
+		if res, ok := rcache.get(key); ok {
+			return res, nil
+		}
+		// Read the generation before evaluating: if the store moves while
+		// we run, the insert below is tagged too old and dropped rather
+		// than trusted.
+		gen := rcache.generation()
+		col := newURICollector(docs)
+		res, err := relationalResult(relationalEngine(plan, &opts, budget, col.resolver(), nil))
+		if err == nil {
+			rcache.put(key, gen, res, col.uris())
+		}
+		return res, err
 	default:
-		return interpResult(q.newInterpEngine(&opts, budget, docs))
+		if rcache == nil {
+			return interpResult(q.newInterpEngine(&opts, budget, docs))
+		}
+		key := resultKey(&opts, q.srcHash())
+		if res, ok := rcache.get(key); ok {
+			return res, nil
+		}
+		gen := rcache.generation()
+		col := newURICollector(docs)
+		res, err := interpResult(q.newInterpEngine(&opts, budget, col.resolver()))
+		if err == nil {
+			rcache.put(key, gen, res, col.uris())
+		}
+		return res, err
 	}
 }
 
@@ -412,29 +465,6 @@ func tracedDocs(tr *obs.Trace, docs DocResolver) DocResolver {
 		defer tr.StartPhase("store-resolve")()
 		return docs(uri)
 	}
-}
-
-// newRelationalEngine builds the relational engine for one evaluation;
-// Eval passes a nil profile, Analyze a live one.
-func (q *Query) newRelationalEngine(opts *Options, budget *xdm.Budget, docs DocResolver, prof *obs.PlanProfile) (*algebra.Engine, error) {
-	mode := algebra.ModeAuto
-	switch opts.Mode {
-	case ModeNaive:
-		mode = algebra.ModeNaive
-	case ModeDelta:
-		mode = algebra.ModeDelta
-	}
-	var optimize func(*algebra.Plan)
-	if opts.Opt != Opt0 {
-		optimize = opt.Optimize
-	}
-	return algebra.NewEngine(q.module, algebra.Options{
-		Mode: mode, MaxIterations: opts.MaxIterations,
-		Strict: opts.StrictAlgebraicCheck, Docs: docs,
-		Parallelism: opts.Parallelism, Context: opts.Context,
-		Optimize: optimize, Budget: budget,
-		Trace: opts.Trace, Prof: prof,
-	})
 }
 
 // relationalResult executes the relational engine and packages its outcome

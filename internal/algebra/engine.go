@@ -65,35 +65,58 @@ type Engine struct {
 	opts Options
 }
 
-// NewEngine compiles the module and fixes each µ site's algorithm per the
-// requested mode.
-func NewEngine(m *ast.Module, opts Options) (*Engine, error) {
-	stopCompile := opts.Trace.StartPhase("compile")
+// CompilePlan compiles the module, fixes each µ site's algorithm per the
+// requested mode, and runs the optimizer — everything about a plan that
+// depends only on (module, mode, strict, optimizer) and nothing about a
+// single evaluation. The returned plan holds no mutable execution state
+// (that all lives in ExecContext, keyed by node pointer), so one compiled
+// plan is safely shared across concurrent evaluations — the contract the
+// serving layer's plan cache relies on.
+func CompilePlan(m *ast.Module, mode FixpointMode, strict bool, optimize func(*Plan), tr *obs.Trace) (*Plan, error) {
+	stopCompile := tr.StartPhase("compile")
 	plan, err := CompileModule(m)
 	stopCompile()
 	if err != nil {
 		return nil, err
 	}
 	for _, site := range plan.Mus {
-		switch opts.Mode {
+		switch mode {
 		case ModeNaive:
 			site.Mu.Delta = false
 		case ModeDelta:
 			site.Mu.Delta = true
 		default:
-			if opts.Strict {
+			if strict {
 				site.Mu.Delta = site.Distributive
 			} else {
 				site.Mu.Delta = site.DistributiveExt
 			}
 		}
 	}
-	if opts.Optimize != nil {
-		stopOpt := opts.Trace.StartPhase("optimize")
-		opts.Optimize(plan)
+	if optimize != nil {
+		stopOpt := tr.StartPhase("optimize")
+		optimize(plan)
 		stopOpt()
 	}
+	return plan, nil
+}
+
+// NewEngine compiles the module and fixes each µ site's algorithm per the
+// requested mode.
+func NewEngine(m *ast.Module, opts Options) (*Engine, error) {
+	plan, err := CompilePlan(m, opts.Mode, opts.Strict, opts.Optimize, opts.Trace)
+	if err != nil {
+		return nil, err
+	}
 	return &Engine{plan: plan, opts: opts}, nil
+}
+
+// NewEngineFromPlan builds an engine around an already-compiled plan (a
+// plan-cache hit). The plan must have been produced by CompilePlan with
+// the mode, strictness, and optimizer these options imply — the engine
+// does not re-derive any of it.
+func NewEngineFromPlan(plan *Plan, opts Options) *Engine {
+	return &Engine{plan: plan, opts: opts}
 }
 
 // Plan exposes the compiled plan (explain output, tests).

@@ -1,0 +1,63 @@
+package opt_test
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/algebra/opt"
+	"repro/internal/bench"
+	"repro/internal/xq/parser"
+)
+
+func hashOf(t *testing.T, query string, mode algebra.FixpointMode, optimize bool) uint64 {
+	t.Helper()
+	m, err := parser.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var optFn func(*algebra.Plan)
+	if optimize {
+		optFn = opt.Optimize
+	}
+	plan, err := algebra.CompilePlan(m, mode, false, optFn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opt.PlanHash(plan.Root)
+}
+
+func TestPlanHashDeterministic(t *testing.T) {
+	for _, q := range []string{bench.BidderNetworkQuery, bench.DialogsQuery, bench.CurriculumQuery, bench.HospitalQuery} {
+		a := hashOf(t, q, algebra.ModeAuto, true)
+		b := hashOf(t, q, algebra.ModeAuto, true)
+		if a != b {
+			t.Fatalf("same query hashes differently: %x vs %x", a, b)
+		}
+	}
+}
+
+func TestPlanHashDistinguishes(t *testing.T) {
+	seen := map[uint64]string{}
+	record := func(desc string, h uint64) {
+		t.Helper()
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("hash collision: %s and %s both hash to %x", prev, desc, h)
+		}
+		seen[h] = desc
+	}
+	// Different queries must differ.
+	for _, q := range []struct {
+		name, query string
+	}{
+		{"bidder", bench.BidderNetworkQuery},
+		{"dialogs", bench.DialogsQuery},
+		{"curriculum", bench.CurriculumQuery},
+		{"hospital", bench.HospitalQuery},
+	} {
+		record(q.name+"/auto/opt", hashOf(t, q.query, algebra.ModeAuto, true))
+	}
+	// Mode flips µ∆ → the Delta flag is part of the hash.
+	record("bidder/naive/opt", hashOf(t, bench.BidderNetworkQuery, algebra.ModeNaive, true))
+	// Optimizer level changes the plan shape.
+	record("bidder/auto/raw", hashOf(t, bench.BidderNetworkQuery, algebra.ModeAuto, false))
+}

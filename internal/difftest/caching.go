@@ -1,0 +1,128 @@
+package difftest
+
+import (
+	"reflect"
+	"testing"
+
+	ifpxq "repro"
+	"repro/internal/xdm"
+)
+
+// CheckCaching proves the caching layer is invisible to results: every
+// (engine, mode, optimizer level, parallelism) configuration is evaluated
+// uncached to establish a baseline, then re-evaluated under each cache
+// configuration — plan cache only, result cache only, both — with the
+// caches shared across the whole matrix and each configuration run twice,
+// so the second run exercises the hit paths. Every cached run must agree
+// byte-for-byte with the uncached baseline on the result string, the
+// error, and the fixpoint statistics.
+//
+// It also checks the caches are not silently inert: whenever a cache
+// configuration populated entries, the second pass must have recorded
+// hits against them.
+func CheckCaching(t testing.TB, c Case) {
+	t.Helper()
+	var q *ifpxq.Query
+	var err error
+	if c.RegularXPath {
+		q, err = ifpxq.ParseRegularXPath(c.Query)
+	} else {
+		q, err = ifpxq.Parse(c.Query)
+	}
+	if err != nil {
+		t.Fatalf("seed %d: parse %q: %v", c.Seed, c.Query, err)
+	}
+
+	doc, err := ifpxq.ParseDocument(c.XML, c.URI)
+	if err != nil {
+		t.Fatalf("seed %d: document: %v", c.Seed, err)
+	}
+	docs := ifpxq.DocsFromDocuments(map[string]*xdm.Document{c.URI: doc})
+	root := xdm.NewNode(doc.Root())
+
+	engines := []ifpxq.Engine{ifpxq.EngineInterpreter}
+	if !c.RegularXPath {
+		engines = append(engines, ifpxq.EngineRelational)
+	}
+
+	type cfg struct {
+		engine ifpxq.Engine
+		mode   ifpxq.Mode
+		opt    ifpxq.OptLevel
+		p      int
+	}
+	forEach := func(fn func(k cfg, opts ifpxq.Options)) {
+		for _, engine := range engines {
+			for _, mode := range []ifpxq.Mode{ifpxq.ModeNaive, ifpxq.ModeAuto} {
+				optLevels := OptLevels
+				if engine == ifpxq.EngineInterpreter {
+					optLevels = OptLevels[:1] // no plan stage: -O is a no-op
+				}
+				for _, opt := range optLevels {
+					for _, p := range Parallelisms {
+						opts := ifpxq.Options{Engine: engine, Mode: mode, Docs: docs, Parallelism: p, Opt: opt}
+						if c.RegularXPath {
+							opts.ContextItem = &root
+						}
+						fn(cfg{engine, mode, opt, p}, opts)
+					}
+				}
+			}
+		}
+	}
+
+	baseline := map[cfg]outcome{}
+	forEach(func(k cfg, opts ifpxq.Options) {
+		baseline[k] = evalOutcome(q, opts)
+	})
+
+	for _, cc := range []struct {
+		name         string
+		plan, result bool
+	}{
+		{"plan", true, false},
+		{"result", false, true},
+		{"both", true, true},
+	} {
+		var pc *ifpxq.PlanCache
+		var rc *ifpxq.ResultCache
+		if cc.plan {
+			pc = ifpxq.NewPlanCache(64)
+		}
+		if cc.result {
+			rc = ifpxq.NewResultCache(64, nil)
+		}
+		// Two passes over the full matrix with the caches shared: the
+		// first populates, the second must serve hits — and also proves
+		// a result cached at one parallelism serves every other (results
+		// are byte-identical at every worker count).
+		for pass := 0; pass < 2; pass++ {
+			forEach(func(k cfg, opts ifpxq.Options) {
+				opts.PlanCache, opts.ResultCache = pc, rc
+				got := evalOutcome(q, opts)
+				want := baseline[k]
+				if got.err != want.err {
+					t.Errorf("seed %d caches=%s pass=%d engine=%v mode=%v -O%s p=%d: caching changes the error: %q vs %q",
+						c.Seed, cc.name, pass, k.engine, k.mode, optName(k.opt), k.p, got.err, want.err)
+				}
+				if got.result != want.result {
+					t.Errorf("seed %d caches=%s pass=%d engine=%v mode=%v -O%s p=%d: caching changes the result",
+						c.Seed, cc.name, pass, k.engine, k.mode, optName(k.opt), k.p)
+				}
+				if !reflect.DeepEqual(got.fixpoints, want.fixpoints) {
+					t.Errorf("seed %d caches=%s pass=%d engine=%v mode=%v -O%s p=%d: caching changes fixpoint stats:\nuncached: %+v\n  cached: %+v",
+						c.Seed, cc.name, pass, k.engine, k.mode, optName(k.opt), k.p, want.fixpoints, got.fixpoints)
+				}
+			})
+		}
+		// A cache that populated entries in pass one must have hit in
+		// pass two; zero entries is legitimate (compile rejections keep
+		// plans out, errors and context-item runs keep results out).
+		if s := pc.Stats(); s.Entries > 0 && s.Hits == 0 {
+			t.Errorf("seed %d caches=%s: plan cache populated but never hit: %+v", c.Seed, cc.name, s)
+		}
+		if s := rc.Stats(); s.Entries > 0 && s.Hits == 0 {
+			t.Errorf("seed %d caches=%s: result cache populated but never hit: %+v", c.Seed, cc.name, s)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package plancache provides the two bounded caches the serving layer
+// puts in front of query evaluation: a plain LRU Cache for compiled
+// plans (valid for the process lifetime — a plan depends only on the
+// query text and compilation options) and a generation-tagged
+// ResultCache for complete query results (valid only while the document
+// store's generation stands still, invalidated wholesale the moment it
+// moves).
+//
+// Both are concurrency-safe and nil-receiver-safe: a nil cache never
+// hits and drops every insert, so "caching disabled" needs no branches
+// at the call sites.
+package plancache
+
+import "sync"
+
+// Stats is a point-in-time snapshot of one cache's counters.
+type Stats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`     // entries dropped by LRU pressure
+	Invalidations int64 `json:"invalidations"` // entries flushed by a generation change (ResultCache only)
+	Entries       int   `json:"entries"`       // resident entries
+	MaxEntries    int   `json:"max_entries"`
+}
+
+type node struct {
+	key        string
+	val        any
+	prev, next *node
+}
+
+// lru is the shared intrusive LRU list + map core. Methods assume the
+// owner holds its lock.
+type lru struct {
+	max     int
+	entries map[string]*node
+	head    node // sentinel: head.next is MRU, head.prev is the eviction candidate
+}
+
+// init must run on the lru's final address: the sentinel links point at
+// the head field itself, so a post-init struct copy would dangle.
+func (l *lru) init(max int) {
+	l.max = max
+	l.entries = make(map[string]*node)
+	l.head.prev, l.head.next = &l.head, &l.head
+}
+
+func (l *lru) unlink(n *node) {
+	n.prev.next, n.next.prev = n.next, n.prev
+	n.prev, n.next = nil, nil
+}
+
+func (l *lru) pushFront(n *node) {
+	n.prev, n.next = &l.head, l.head.next
+	n.prev.next, n.next.prev = n, n
+}
+
+// get returns the value for key, promoting it to MRU.
+func (l *lru) get(key string) (any, bool) {
+	n, ok := l.entries[key]
+	if !ok {
+		return nil, false
+	}
+	l.unlink(n)
+	l.pushFront(n)
+	return n.val, true
+}
+
+// put inserts or replaces key and returns how many entries LRU pressure
+// evicted to make room.
+func (l *lru) put(key string, val any) int64 {
+	if n, ok := l.entries[key]; ok {
+		n.val = val
+		l.unlink(n)
+		l.pushFront(n)
+		return 0
+	}
+	n := &node{key: key, val: val}
+	l.entries[key] = n
+	l.pushFront(n)
+	var evicted int64
+	for l.max > 0 && len(l.entries) > l.max {
+		victim := l.head.prev
+		l.unlink(victim)
+		delete(l.entries, victim.key)
+		evicted++
+	}
+	return evicted
+}
+
+// clear drops every entry and returns how many there were.
+func (l *lru) clear() int64 {
+	n := int64(len(l.entries))
+	l.entries = make(map[string]*node)
+	l.head.prev, l.head.next = &l.head, &l.head
+	return n
+}
+
+// Cache is a bounded LRU keyed by string, for values that stay valid for
+// the process lifetime (compiled plans). A nil *Cache is a disabled
+// cache: Get always misses without counting, Put drops.
+type Cache struct {
+	mu                      sync.Mutex
+	lru                     lru
+	hits, misses, evictions int64
+}
+
+// New builds a cache holding at most max entries (max <= 0: unbounded).
+func New(max int) *Cache {
+	c := &Cache{}
+	c.lru.init(max)
+	return c
+}
+
+// Get returns the cached value for key, counting a hit or miss.
+func (c *Cache) Get(key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.lru.get(key)
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return v, ok
+}
+
+// Put inserts or replaces the value for key.
+func (c *Cache) Put(key string, val any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictions += c.lru.put(key, val)
+}
+
+// Purge drops every entry (not counted as evictions).
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.clear()
+}
+
+// Stats snapshots the counters. Zero for a nil cache.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: len(c.lru.entries), MaxEntries: c.lru.max,
+	}
+}
+
+// ResultCache is a bounded LRU whose every entry is tagged with the
+// store generation it was computed at. The invariant: all resident
+// entries share one generation (gen). Sync(now) flushes wholesale when
+// the store generation has moved; Put with an older generation than the
+// cache has seen is dropped (the result may already be stale), and Put
+// with a newer one flushes everything older first. A nil *ResultCache is
+// a disabled cache.
+type ResultCache struct {
+	mu  sync.Mutex
+	lru lru
+	gen int64
+
+	hits, misses, evictions, invalidations int64
+}
+
+// NewResults builds a result cache holding at most max entries
+// (max <= 0: unbounded).
+func NewResults(max int) *ResultCache {
+	r := &ResultCache{}
+	r.lru.init(max)
+	return r
+}
+
+// syncLocked flushes every entry if gen differs from the resident
+// generation, counting the flushed entries as invalidations.
+func (r *ResultCache) syncLocked(gen int64) {
+	if gen == r.gen {
+		return
+	}
+	r.invalidations += r.lru.clear()
+	r.gen = gen
+}
+
+// Sync flushes the cache wholesale if the store generation moved.
+func (r *ResultCache) Sync(gen int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.syncLocked(gen)
+}
+
+// Peek returns the entry for key without touching hit/miss counters or
+// the generation — the caller is still deciding whether the entry is
+// servable (e.g. it must first revalidate the documents the result
+// depends on, which may itself move the generation).
+func (r *ResultCache) Peek(key string) (any, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, ok := r.lru.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return n.val, true
+}
+
+// Get syncs to gen, then returns the entry for key, counting a hit or
+// a miss.
+func (r *ResultCache) Get(key string, gen int64) (any, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.syncLocked(gen)
+	v, ok := r.lru.get(key)
+	if ok {
+		r.hits++
+	} else {
+		r.misses++
+	}
+	return v, ok
+}
+
+// Put inserts a result computed at generation gen. An insert older than
+// the resident generation is dropped — the store moved while the query
+// ran, so the result may embed stale documents. A newer one flushes the
+// older residents first.
+func (r *ResultCache) Put(key string, gen int64, val any) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if gen < r.gen {
+		return
+	}
+	r.syncLocked(gen)
+	r.evictions += r.lru.put(key, val)
+}
+
+// Purge drops every entry (not counted as evictions or invalidations).
+func (r *ResultCache) Purge() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lru.clear()
+}
+
+// Generation returns the generation the resident entries were computed
+// at.
+func (r *ResultCache) Generation() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gen
+}
+
+// Stats snapshots the counters. Zero for a nil cache.
+func (r *ResultCache) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Hits: r.hits, Misses: r.misses, Evictions: r.evictions,
+		Invalidations: r.invalidations,
+		Entries:       len(r.lru.entries), MaxEntries: r.lru.max,
+	}
+}

@@ -1,0 +1,150 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRU(t *testing.T) {
+	c := New(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v.(int) != 1 {
+		t.Fatalf("a: %v %v", v, ok)
+	}
+	c.Put("c", 3) // evicts b (LRU after a's promotion)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted out of order")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	s := c.Stats()
+	if s.Hits != 3 || s.Misses != 1 || s.Evictions != 1 || s.Entries != 2 || s.MaxEntries != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	c.Put("a", 10) // replace in place: no eviction
+	if v, _ := c.Get("a"); v.(int) != 10 {
+		t.Fatal("replace did not take")
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats after replace %+v", s)
+	}
+	c.Purge()
+	if s := c.Stats(); s.Entries != 0 {
+		t.Fatalf("stats after purge %+v", s)
+	}
+}
+
+func TestNilCachesAreDisabled(t *testing.T) {
+	var c *Cache
+	c.Put("k", 1)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Purge()
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("nil stats %+v", s)
+	}
+	var r *ResultCache
+	r.Put("k", 0, 1)
+	if _, ok := r.Get("k", 0); ok {
+		t.Fatal("nil result cache hit")
+	}
+	if _, ok := r.Peek("k"); ok {
+		t.Fatal("nil result cache peek hit")
+	}
+	r.Sync(5)
+	r.Purge()
+	if r.Generation() != 0 {
+		t.Fatal("nil generation")
+	}
+	if s := r.Stats(); s != (Stats{}) {
+		t.Fatalf("nil stats %+v", s)
+	}
+}
+
+func TestResultCacheGenerationInvalidation(t *testing.T) {
+	r := NewResults(8)
+	r.Put("q1", 0, "r1")
+	r.Put("q2", 0, "r2")
+	if v, ok := r.Get("q1", 0); !ok || v.(string) != "r1" {
+		t.Fatalf("q1: %v %v", v, ok)
+	}
+	// Generation moves: everything flushes wholesale.
+	if v, ok := r.Get("q1", 1); ok {
+		t.Fatalf("stale hit across generations: %v", v)
+	}
+	if _, ok := r.Peek("q2"); ok {
+		t.Fatal("q2 survived the generation flush")
+	}
+	s := r.Stats()
+	if s.Invalidations != 2 || s.Hits != 1 || s.Misses != 1 || s.Entries != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	if r.Generation() != 1 {
+		t.Fatalf("generation %d", r.Generation())
+	}
+}
+
+func TestResultCachePutGenerationRules(t *testing.T) {
+	r := NewResults(8)
+	r.Sync(5)
+	r.Put("old", 4, "stale") // older than resident generation: dropped
+	if _, ok := r.Peek("old"); ok {
+		t.Fatal("stale-generation insert accepted")
+	}
+	r.Put("cur", 5, "fresh")
+	if v, ok := r.Get("cur", 5); !ok || v.(string) != "fresh" {
+		t.Fatalf("cur: %v %v", v, ok)
+	}
+	r.Put("next", 6, "newer") // newer: flushes the gen-5 residents first
+	if _, ok := r.Peek("cur"); ok {
+		t.Fatal("older resident survived a newer insert")
+	}
+	if v, ok := r.Get("next", 6); !ok || v.(string) != "newer" {
+		t.Fatalf("next: %v %v", v, ok)
+	}
+	if got := r.Stats().Invalidations; got != 1 {
+		t.Fatalf("invalidations %d, want 1", got)
+	}
+}
+
+func TestResultCacheBounded(t *testing.T) {
+	r := NewResults(2)
+	for i := 0; i < 4; i++ {
+		r.Put(fmt.Sprintf("k%d", i), 0, i)
+	}
+	s := r.Stats()
+	if s.Entries != 2 || s.Evictions != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	if _, ok := r.Peek("k3"); !ok {
+		t.Fatal("most recent insert missing")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := New(16)
+	r := NewResults(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%24)
+				c.Put(k, i)
+				c.Get(k)
+				r.Put(k, int64(i%3), i)
+				r.Get(k, int64(i%3))
+				r.Sync(int64(i % 3))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

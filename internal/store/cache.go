@@ -10,10 +10,29 @@ import (
 // Loader loads a document on a cache miss.
 type Loader func(uri string) (*xdm.Document, error)
 
+// Fingerprint identifies the backing file bytes a cached document was
+// loaded from. Two fingerprints compare equal iff path, size, and mtime
+// all match — the same identity rule the mmap layer uses for mapping
+// reuse, so the cache and the mapping table agree about what "the same
+// document" means. The zero Fingerprint means "unknown" and is never
+// validated.
+type Fingerprint struct {
+	Path  string
+	Size  int64
+	MTime int64 // modification time, nanoseconds since the Unix epoch
+}
+
 // CacheOptions configure a Cache.
 type CacheOptions struct {
 	// Loader is called on misses (required).
 	Loader Loader
+	// Stat fingerprints the backing file for uri without loading it.
+	// When set, every cache hit revalidates the entry's recorded
+	// fingerprint; a mismatch (the file was replaced on disk) or a stat
+	// failure (it was removed) invalidates the entry, bumps the cache
+	// generation, and reloads. Nil disables validation: entries live
+	// until evicted, exactly the pre-generation behaviour.
+	Stat func(uri string) (Fingerprint, error)
 	// MaxBytes bounds the cached arena bytes (Document.Stats().ArenaBytes
 	// accounting); 0 means unbounded.
 	MaxBytes int64
@@ -23,17 +42,19 @@ type CacheOptions struct {
 
 // CacheStats is a point-in-time snapshot of cache counters.
 type CacheStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Errors    int64 `json:"errors"`    // loader failures (not cached)
-	Evictions int64 `json:"evictions"` // documents dropped by LRU pressure
-	Loads     int64 `json:"loads"`     // loader calls (misses + failures)
-	LoadNs    int64 `json:"load_ns"`   // cumulative wall time inside the loader
-	Docs      int   `json:"docs"`      // resident documents
-	Pinned    int   `json:"pinned"`    // documents currently pinned by sessions
-	Bytes     int64 `json:"bytes"`     // resident arena bytes
-	MaxBytes  int64 `json:"max_bytes"`
-	MaxDocs   int   `json:"max_docs"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Errors        int64 `json:"errors"`        // loader failures (not cached)
+	Evictions     int64 `json:"evictions"`     // documents dropped by LRU pressure
+	Invalidations int64 `json:"invalidations"` // stale documents dropped by fingerprint validation
+	Generation    int64 `json:"generation"`    // monotonic store generation (see Generation)
+	Loads         int64 `json:"loads"`         // loader calls (misses + failures)
+	LoadNs        int64 `json:"load_ns"`       // cumulative wall time inside the loader
+	Docs          int   `json:"docs"`          // resident documents
+	Pinned        int   `json:"pinned"`        // documents currently pinned by sessions
+	Bytes         int64 `json:"bytes"`         // resident arena bytes
+	MaxBytes      int64 `json:"max_bytes"`
+	MaxDocs       int   `json:"max_docs"`
 }
 
 // Cache is a concurrency-safe bounded document cache: LRU eviction over
@@ -53,16 +74,37 @@ type Cache struct {
 	// eviction candidate. head is a sentinel.
 	head  entry
 	bytes int64
+	// pinned counts resident entries with pins > 0, maintained
+	// incrementally on pin transitions so Stats never scans the map.
+	pinned int
+	// gen is the monotonic store generation: any event that removes a
+	// resident document (fingerprint invalidation, LRU eviction, purge)
+	// bumps it, so "generation unchanged" certifies the resident set only
+	// shrank by nothing — the invariant the result cache keys on.
+	gen           int64
+	invalidations int64
 
 	hits, misses, errors, evictions int64
 	loads, loadNs                   int64
+
+	// Test seams (cache_test.go): flightWaits counts Acquires that parked
+	// on another goroutine's in-flight load; onFlightRetry, when set, runs
+	// on a waiter's retry path right after the winner's flight completes,
+	// before the waiter re-enters the lookup loop.
+	flightWaits   int64
+	onFlightRetry func()
 }
 
 type entry struct {
-	uri        string
-	doc        *xdm.Document
-	bytes      int64
-	pins       int
+	uri   string
+	doc   *xdm.Document
+	bytes int64
+	fp    Fingerprint
+	pins  int
+	// detached marks an entry invalidated while pinned: it left the
+	// resident set (map, LRU list, byte/pinned accounting) but live Pins
+	// still reference its document; Release skips cache bookkeeping.
+	detached   bool
 	prev, next *entry
 }
 
@@ -118,7 +160,8 @@ func (p *Pin) Release() {
 	c := p.c
 	c.mu.Lock()
 	p.e.pins--
-	if p.e.pins == 0 {
+	if p.e.pins == 0 && !p.e.detached {
+		c.pinned--
 		c.evictLocked()
 	}
 	c.mu.Unlock()
@@ -126,23 +169,54 @@ func (p *Pin) Release() {
 
 // Acquire returns a pinned reference to the document for uri, loading it
 // through the cache's Loader on a miss. Concurrent Acquires of the same
-// absent URI share one loader call.
+// absent URI share one loader call. When the cache has a Stat callback,
+// a hit revalidates the entry's fingerprint against the backing file and
+// a stale entry is invalidated and reloaded instead of served.
 func (c *Cache) Acquire(uri string) (*Pin, error) {
 	for {
 		c.mu.Lock()
 		if e, ok := c.entries[uri]; ok {
+			if c.opts.Stat != nil && e.fp != (Fingerprint{}) {
+				// Stat outside the lock — a syscall under c.mu would
+				// serialize every hit against /metrics scrapes and other
+				// queries. Relock and make sure this exact entry is still
+				// resident before trusting the comparison.
+				fpCached := e.fp
+				c.mu.Unlock()
+				fpNow, statErr := c.opts.Stat(uri)
+				c.mu.Lock()
+				if cur, ok := c.entries[uri]; !ok || cur != e {
+					c.mu.Unlock()
+					continue // resident set changed underneath the stat; retry
+				}
+				if statErr != nil || fpNow != fpCached {
+					// The backing file was replaced or removed: drop the
+					// stale entry and fall through to a fresh load (which
+					// surfaces the error if the file is truly gone).
+					c.invalidateLocked(e)
+					c.mu.Unlock()
+					continue
+				}
+			}
 			c.hits++
 			e.pins++
+			if e.pins == 1 {
+				c.pinned++
+			}
 			c.unlink(e)
 			c.pushFront(e)
 			c.mu.Unlock()
 			return &Pin{c: c, e: e}, nil
 		}
 		if fl, ok := c.flights[uri]; ok {
+			c.flightWaits++
 			c.mu.Unlock()
 			<-fl.done
 			if fl.err != nil {
 				return nil, fl.err
+			}
+			if c.onFlightRetry != nil {
+				c.onFlightRetry()
 			}
 			// The winner inserted the entry; re-acquire it (it may
 			// already have been evicted again under pressure, in which
@@ -153,6 +227,15 @@ func (c *Cache) Acquire(uri string) (*Pin, error) {
 		c.flights[uri] = fl
 		c.mu.Unlock()
 
+		// Fingerprint before reading: if the file is replaced mid-load we
+		// record the pre-replacement identity and the next hit invalidates
+		// — an extra reload, never a stale serve.
+		var fp Fingerprint
+		if c.opts.Stat != nil {
+			if f, statErr := c.opts.Stat(uri); statErr == nil {
+				fp = f
+			}
+		}
 		loadStart := time.Now()
 		doc, err := c.opts.Loader(uri)
 		loadNs := time.Since(loadStart).Nanoseconds()
@@ -173,14 +256,71 @@ func (c *Cache) Acquire(uri string) (*Pin, error) {
 			return nil, err
 		}
 		c.misses++
-		e := &entry{uri: uri, doc: doc, bytes: bytes, pins: 1}
+		e := &entry{uri: uri, doc: doc, bytes: bytes, fp: fp, pins: 1}
 		c.entries[uri] = e
+		c.pinned++
 		c.pushFront(e)
 		c.bytes += bytes
 		c.evictLocked()
 		c.mu.Unlock()
 		return &Pin{c: c, e: e}, nil
 	}
+}
+
+// invalidateLocked removes a stale entry from the resident set, bumping
+// the generation and the invalidation counter. A pinned entry is detached
+// rather than destroyed: live Pins keep its document (and node identity)
+// alive, but the cache stops serving or accounting for it.
+func (c *Cache) invalidateLocked(e *entry) {
+	c.unlink(e)
+	delete(c.entries, e.uri)
+	c.bytes -= e.bytes
+	if e.pins > 0 {
+		e.detached = true
+		c.pinned--
+	}
+	c.invalidations++
+	c.gen++
+}
+
+// Validate re-checks the resident document for uri against its backing
+// file and invalidates it (bumping the generation) if stale or gone. It
+// reports whether an entry was invalidated. Absent entries, caches with
+// no Stat callback, and entries with unknown fingerprints are left alone.
+func (c *Cache) Validate(uri string) bool {
+	if c.opts.Stat == nil {
+		return false
+	}
+	c.mu.Lock()
+	e, ok := c.entries[uri]
+	if !ok || e.fp == (Fingerprint{}) {
+		c.mu.Unlock()
+		return false
+	}
+	fpCached := e.fp
+	c.mu.Unlock()
+	fpNow, statErr := c.opts.Stat(uri)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.entries[uri]; !ok || cur != e {
+		return false
+	}
+	if statErr == nil && fpNow == fpCached {
+		return false
+	}
+	c.invalidateLocked(e)
+	return true
+}
+
+// Generation returns the cache's monotonic store generation. It advances
+// whenever a resident document leaves the cache for any reason —
+// fingerprint invalidation, LRU eviction, purge — so a consumer that
+// tagged derived state (a cached query result) with the generation can
+// trust it exactly as long as the generation has not moved.
+func (c *Cache) Generation() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
 }
 
 // evictLocked drops least-recently-used unpinned documents until the
@@ -200,6 +340,7 @@ func (c *Cache) evictLocked() {
 		delete(c.entries, victim.uri)
 		c.bytes -= victim.bytes
 		c.evictions++
+		c.gen++
 	}
 }
 
@@ -220,6 +361,7 @@ func (c *Cache) Purge() {
 		delete(c.entries, victim.uri)
 		c.bytes -= victim.bytes
 		c.evictions++
+		c.gen++
 	}
 }
 
@@ -231,22 +373,27 @@ func (c *Cache) Contains(uri string) bool {
 	return ok
 }
 
-// Stats snapshots the cache counters.
+// Stats snapshots the cache counters. O(1): the pinned count is
+// maintained incrementally on pin transitions, so a /metrics scrape never
+// walks the resident set while holding the mutex queries contend on.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := CacheStats{
+	return CacheStats{
 		Hits: c.hits, Misses: c.misses, Errors: c.errors, Evictions: c.evictions,
+		Invalidations: c.invalidations, Generation: c.gen,
 		Loads: c.loads, LoadNs: c.loadNs,
-		Docs: len(c.entries), Bytes: c.bytes,
+		Docs: len(c.entries), Pinned: c.pinned, Bytes: c.bytes,
 		MaxBytes: c.opts.MaxBytes, MaxDocs: c.opts.MaxDocs,
 	}
-	for _, e := range c.entries {
-		if e.pins > 0 {
-			s.Pinned++
-		}
-	}
-	return s
+}
+
+// flightWaitCount returns how many Acquires have parked on another
+// goroutine's in-flight load (test seam).
+func (c *Cache) flightWaitCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flightWaits
 }
 
 // DocInfo describes one resident document (monitoring endpoints).

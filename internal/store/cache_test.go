@@ -373,3 +373,317 @@ func TestMmapMappingReuse(t *testing.T) {
 		t.Fatalf("stale mapping served after rewrite: %s", xmldoc.Serialize(got.Root()))
 	}
 }
+
+// TestStaleSnapshotInvalidated is the stale-document regression test: a
+// snapshot is resident in the cache, the file on disk is replaced, and
+// the next query must see the new content (plus an Invalidations counter
+// increment and a generation bump), not the cached stale document.
+func TestStaleSnapshotInvalidated(t *testing.T) {
+	modes := []struct {
+		name string
+		mmap bool
+	}{{"read", false}}
+	if MmapSupported() {
+		modes = append(modes, struct {
+			name string
+			mmap bool
+		}{"mmap", true})
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			dir := t.TempDir()
+			d1, err := xmldoc.ParseString("<v1><a/></v1>", "d.xml")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := Save(filepath.Join(dir, "d.xml"+Ext), d1); err != nil {
+				t.Fatal(err)
+			}
+			s, err := Open(Options{Dir: dir, Mmap: m.mmap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resolve := func() string {
+				t.Helper()
+				sess := s.Session()
+				defer sess.Close()
+				doc, err := sess.Resolve("d.xml")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return xmldoc.Serialize(doc.Root())
+			}
+			if got := resolve(); got != "<v1><a/></v1>" {
+				t.Fatalf("first query: %s", got)
+			}
+			if got := resolve(); got != "<v1><a/></v1>" {
+				t.Fatalf("repeat query: %s", got)
+			}
+			before := s.Cache().Stats()
+			if before.Invalidations != 0 {
+				t.Fatalf("invalidations before rewrite: %+v", before)
+			}
+
+			// Replace the snapshot on disk.
+			d2, err := xmldoc.ParseString("<v2><b/><c/></v2>", "d.xml")
+			if err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(10 * time.Millisecond) // ensure mtime advances
+			if err := Save(filepath.Join(dir, "d.xml"+Ext), d2); err != nil {
+				t.Fatal(err)
+			}
+
+			if got := resolve(); got != "<v2><b/><c/></v2>" {
+				t.Fatalf("query after rewrite served stale content: %s", got)
+			}
+			after := s.Cache().Stats()
+			if after.Invalidations != before.Invalidations+1 {
+				t.Fatalf("invalidations = %d, want %d", after.Invalidations, before.Invalidations+1)
+			}
+			if after.Generation <= before.Generation {
+				t.Fatalf("generation did not advance: %d -> %d", before.Generation, after.Generation)
+			}
+		})
+	}
+}
+
+// TestStaleXMLFallbackInvalidated: same contract for documents served via
+// the XML parse fallback (no snapshot on disk).
+func TestStaleXMLFallbackInvalidated(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "p.xml"), "<old/>")
+	s, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve := func() string {
+		t.Helper()
+		sess := s.Session()
+		defer sess.Close()
+		doc, err := sess.Resolve("p.xml")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return xmldoc.Serialize(doc.Root())
+	}
+	if got := resolve(); got != "<old/>" {
+		t.Fatalf("first query: %s", got)
+	}
+	time.Sleep(10 * time.Millisecond)
+	writeFile(t, filepath.Join(dir, "p.xml"), "<new><x/></new>")
+	if got := resolve(); got != "<new><x/></new>" {
+		t.Fatalf("query after rewrite served stale content: %s", got)
+	}
+	if s.Cache().Stats().Invalidations != 1 {
+		t.Fatalf("stats %+v, want 1 invalidation", s.Cache().Stats())
+	}
+}
+
+// TestCacheValidateAndGeneration drives Validate and the generation
+// counter directly through a controllable Stat callback.
+func TestCacheValidateAndGeneration(t *testing.T) {
+	var calls int64
+	var fpVal atomic.Int64
+	c := NewCache(CacheOptions{
+		Loader: countingLoader(&calls),
+		Stat: func(uri string) (Fingerprint, error) {
+			return Fingerprint{Path: uri, Size: fpVal.Load(), MTime: 1}, nil
+		},
+	})
+	fpVal.Store(1)
+	p, err := c.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Release()
+	if c.Validate("a") {
+		t.Fatal("fresh entry reported stale")
+	}
+	if c.Validate("absent") {
+		t.Fatal("absent URI reported stale")
+	}
+	gen0 := c.Generation()
+	fpVal.Store(2) // file "changed"
+	if !c.Validate("a") {
+		t.Fatal("stale entry not invalidated by Validate")
+	}
+	if c.Contains("a") {
+		t.Fatal("stale entry still resident")
+	}
+	if got := c.Generation(); got != gen0+1 {
+		t.Fatalf("generation = %d, want %d", got, gen0+1)
+	}
+	if s := c.Stats(); s.Invalidations != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+	// Acquire reloads and the hit path revalidates: flip the fingerprint
+	// again and the next Acquire must reload rather than serve the entry.
+	if _, err := c.Acquire("a"); err != nil {
+		t.Fatal(err)
+	}
+	fpVal.Store(3)
+	if _, err := c.Acquire("a"); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Fatalf("loader calls = %d, want 3 (initial + Validate reload + stale-hit reload)", calls)
+	}
+	if s := c.Stats(); s.Invalidations != 2 {
+		t.Fatalf("stats %+v, want 2 invalidations", s)
+	}
+}
+
+// TestCacheStaleWhilePinned: invalidating a pinned entry must not yank
+// the document out from under the pin holder (stable node identity), but
+// new Acquires must get the fresh content, and the pinned accounting must
+// come back to zero when everything releases.
+func TestCacheStaleWhilePinned(t *testing.T) {
+	var calls int64
+	stale := false
+	var mu sync.Mutex
+	c := NewCache(CacheOptions{
+		Loader: countingLoader(&calls),
+		Stat: func(uri string) (Fingerprint, error) {
+			mu.Lock()
+			defer mu.Unlock()
+			if stale {
+				return Fingerprint{Path: uri, Size: 2, MTime: 1}, nil
+			}
+			return Fingerprint{Path: uri, Size: 1, MTime: 1}, nil
+		},
+	})
+	pOld, err := c.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldDoc := pOld.Doc()
+	mu.Lock()
+	stale = true
+	mu.Unlock()
+	pNew, err := c.Acquire("a") // stale hit while pinned → detach + reload
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pNew.Doc() == oldDoc {
+		t.Fatal("stale pinned document served to a new acquirer")
+	}
+	if pOld.Doc() != oldDoc {
+		t.Fatal("pin lost its document identity on invalidation")
+	}
+	if s := c.Stats(); s.Invalidations != 1 || s.Docs != 1 || s.Pinned != 1 {
+		t.Fatalf("stats %+v, want 1 invalidation, 1 doc, 1 pinned", s)
+	}
+	pOld.Release() // detached entry: must not disturb cache accounting
+	if s := c.Stats(); s.Pinned != 1 || s.Docs != 1 {
+		t.Fatalf("after releasing detached pin: %+v", s)
+	}
+	pNew.Release()
+	if s := c.Stats(); s.Pinned != 0 || s.Docs != 1 {
+		t.Fatalf("after releasing all pins: %+v", s)
+	}
+	if calls != 2 {
+		t.Fatalf("loader calls = %d, want 2", calls)
+	}
+}
+
+// TestCacheFlightWaiterReloadLoop deterministically drives a flight
+// waiter through the Acquire retry loop: the waiter parks on the winner's
+// in-flight load, and by the time it retries, the winner's entry has
+// already been evicted under pressure — so the waiter must loop around
+// and reload rather than fail or serve nothing.
+func TestCacheFlightWaiterReloadLoop(t *testing.T) {
+	var calls int64
+	gate := make(chan struct{}, 3) // one token per permitted loader call
+	loader := func(uri string) (*xdm.Document, error) {
+		<-gate
+		atomic.AddInt64(&calls, 1)
+		return xmldoc.ParseString(fmt.Sprintf("<doc name=%q/>", uri), uri)
+	}
+	c := NewCache(CacheOptions{Loader: loader, MaxDocs: 1})
+	retryEntered := make(chan struct{})
+	retryGate := make(chan struct{})
+	c.onFlightRetry = func() {
+		retryEntered <- struct{}{}
+		<-retryGate
+	}
+
+	waitUntil := func(desc string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", desc)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// A wins the flight for "a" and parks inside the loader.
+	aPin := make(chan *Pin, 1)
+	go func() {
+		p, err := c.Acquire("a")
+		if err != nil {
+			t.Error(err)
+			aPin <- nil
+			return
+		}
+		aPin <- p
+	}()
+	waitUntil("A's flight", func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		_, ok := c.flights["a"]
+		return ok
+	})
+
+	// B parks on A's flight.
+	bDone := make(chan *xdm.Document, 1)
+	go func() {
+		p, err := c.Acquire("a")
+		if err != nil {
+			t.Error(err)
+			bDone <- nil
+			return
+		}
+		doc := p.Doc()
+		p.Release()
+		bDone <- doc
+	}()
+	waitUntil("B parked on the flight", func() bool { return c.flightWaitCount() == 1 })
+
+	// Let A's load finish; B wakes and blocks in the retry hook.
+	gate <- struct{}{}
+	p := <-aPin
+	if p == nil {
+		t.FailNow()
+	}
+	<-retryEntered
+
+	// While B is stalled on its retry path, A's entry becomes evictable
+	// and "b" pushes it out (MaxDocs=1).
+	p.Release()
+	gate <- struct{}{}
+	pb, err := c.Acquire("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pb.Release()
+	if c.Contains("a") {
+		t.Fatal("setup failed: winner's entry still resident")
+	}
+
+	// B retries, finds the entry gone, and must reload it.
+	gate <- struct{}{}
+	close(retryGate)
+	doc := <-bDone
+	if doc == nil {
+		t.FailNow()
+	}
+	if got := atomic.LoadInt64(&calls); got != 3 {
+		t.Fatalf("loader calls = %d, want 3 (A's load, b's load, B's reload)", got)
+	}
+	if got := c.flightWaitCount(); got != 1 {
+		t.Fatalf("flight waits = %d, want 1", got)
+	}
+}

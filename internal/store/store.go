@@ -46,6 +46,7 @@ func Open(opts Options) (*Store, error) {
 	s := &Store{opts: opts}
 	s.cache = NewCache(CacheOptions{
 		Loader:   s.load,
+		Stat:     s.fingerprint,
 		MaxBytes: opts.MaxBytes,
 		MaxDocs:  opts.MaxDocs,
 	})
@@ -115,6 +116,32 @@ func (s *Store) safeJoin(uri string) (string, error) {
 		return "", xdm.Errorf(xdm.ErrDoc, "document URI %q escapes store directory %q", uri, s.opts.Dir)
 	}
 	return filepath.Join(s.opts.Dir, clean), nil
+}
+
+// fingerprint stats the file that would serve uri — resolution order
+// identical to load (snapshot first, then XML fallback) — without reading
+// it. The cache calls it to validate hits, so a snapshot or XML file
+// replaced on disk stops being served from memory.
+func (s *Store) fingerprint(uri string) (Fingerprint, error) {
+	snapPath, err := s.SnapshotPath(uri)
+	if err != nil {
+		return Fingerprint{}, err
+	}
+	if st, statErr := os.Stat(snapPath); statErr == nil {
+		return Fingerprint{Path: snapPath, Size: st.Size(), MTime: st.ModTime().UnixNano()}, nil
+	} else if !os.IsNotExist(statErr) {
+		return Fingerprint{}, xdm.Errorf(xdm.ErrDoc, "doc(%q): snapshot %s: %v", uri, snapPath, statErr)
+	}
+	if !s.opts.NoParseFallback && !strings.HasSuffix(uri, Ext) {
+		xmlPath, err := s.safeJoin(uri)
+		if err != nil {
+			return Fingerprint{}, err
+		}
+		if st, statErr := os.Stat(xmlPath); statErr == nil {
+			return Fingerprint{Path: xmlPath, Size: st.Size(), MTime: st.ModTime().UnixNano()}, nil
+		}
+	}
+	return Fingerprint{}, xdm.NotFoundf("doc(%q): not in store", uri)
 }
 
 // load is the cache loader: snapshot first, then XML, then a not-found
