@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-store bench-parallel bench-opt bench-check bench-baseline cover fmt-check fuzz explain explain-update vet ci clean loadsmoke obs-check cache-check
+.PHONY: all build test bench bench-json bench-store bench-parallel bench-opt bench-check bench-baseline cover fmt-check fuzz explain explain-update vet lint ci clean loadsmoke obs-check cache-check
 
 all: build test
 
@@ -20,6 +20,25 @@ vet:
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Static analysis beyond vet: staticcheck (bug patterns, simplifications)
+# and govulncheck (call-graph-reachable known vulnerabilities). CI installs
+# the pinned versions below (see .github/workflows/ci.yml); locally the
+# target runs whatever is on PATH and skips — loudly — when a tool is
+# missing, so `make lint` never requires network access.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not on PATH, skipping (CI pins $(STATICCHECK_VERSION))"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not on PATH, skipping (CI pins $(GOVULNCHECK_VERSION))"; \
+	fi
 
 # Coverage floors for internal/algebra (the columnar executor) and
 # internal/algebra/opt (the plan optimizer) — each package is profiled and
@@ -53,8 +72,11 @@ loadsmoke:
 # tracing off and with a live span recorder attached, and the two runs
 # must agree byte for byte on results, errors, and fixpoint statistics.
 # Proves the obs layer is read-only instrumentation, never a participant.
+# The round-stats half pins the per-round fed/delta trace spans -O0 vs
+# -O1: the delta-fed step rewrite may shrink what steps consume, never
+# what the fixpoint feeds back or how many rounds it takes.
 obs-check:
-	$(GO) test -run 'TestTracingParity' -count=1 ./internal/difftest
+	$(GO) test -run 'TestTracingParity|TestRoundStatsParity' -count=1 ./internal/difftest
 
 # Caching gate: same seed block, every configuration evaluated uncached
 # and then under plan cache / result cache / both (each twice, so the
@@ -72,6 +94,7 @@ cache-check:
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(MAKE) lint
 	$(GO) test -race ./...
 	$(MAKE) fuzz FUZZTIME=10s
 	$(MAKE) cover
@@ -112,11 +135,14 @@ define next-bench
 $$(n=1; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; echo BENCH_$$n.json)
 endef
 
-# BENCH_CHECK_EXPS is the short bench-gate workload: one experiment keeps
-# a PR's bench job in minutes while still covering both relational
-# fixpoint algorithms. Regenerate the committed baseline (bench-baseline)
-# whenever a PR moves these numbers on purpose.
-BENCH_CHECK_EXPS ?= T2.1
+# BENCH_CHECK_EXPS is the short bench-gate workload, kept to minutes per
+# PR while covering both relational fixpoint algorithms. T2.1 is the
+# shallow bidder cell; T2.8 (hospital pedigrees) is the deep-recursion
+# cell whose optimized plan carries the delta-fed step rewrite (recdelta),
+# so per-round step cost regressions on the delta path gate here.
+# Regenerate the committed baseline (bench-baseline) whenever a PR moves
+# these numbers on purpose.
+BENCH_CHECK_EXPS ?= T2.1,T2.8
 
 # bench-check is the CI regression gate: measure the short workload into
 # BENCH_pr.json and compare against the committed BENCH_baseline.json.

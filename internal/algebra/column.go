@@ -317,6 +317,33 @@ func (c *Column) gather(idx []int32) *Column {
 	return &Column{items: items}
 }
 
+// expandRuns replicates value i counts[i] times, in order — the run-length
+// twin of gather used by the segment-sharing step path, where one context
+// row fans out into len(segment) result rows. total is the known output
+// length (the sum of counts). Packed sources stay packed and share the
+// dictionary, exactly like gather.
+func (c *Column) expandRuns(counts []int32, total int) *Column {
+	if total == 0 {
+		return &Column{}
+	}
+	if c.items == nil {
+		out := make([]uint64, 0, total)
+		for i, k := range c.packed {
+			for j := int32(0); j < counts[i]; j++ {
+				out = append(out, k)
+			}
+		}
+		return &Column{packed: out, docs: c.docs}
+	}
+	out := make([]xdm.Item, 0, total)
+	for i, it := range c.items {
+		for j := int32(0); j < counts[i]; j++ {
+			out = append(out, it)
+		}
+	}
+	return &Column{items: out}
+}
+
 // concatColumns concatenates column chunks into one column. All-packed
 // inputs stay packed (dictionaries merge, or share when there is only one
 // distinct dictionary); any generic chunk degrades the result.

@@ -147,12 +147,14 @@ type ExecContext struct {
 
 	memo      map[*Node]*Table
 	binding   map[*Node]*Table // OpRecBase → current feed
+	deltaBind map[*Node]*Table // OpRecBase → current round's delta (OpRecDelta reads)
 	muAgg     map[*Node]*MuRun
 	muDeps    map[*Node]map[*Node]bool // µ node → rec-dependent body nodes
 	muSite    map[*Node]int            // µ node → Trace site index
 	docs      map[string]*xdm.Document
 	stepCache map[stepCacheKey][]xdm.NodeRef
-	stepMu    sync.Mutex // guards stepCache when step joins shard
+	segCache  map[segKey][]uint64 // shared step segments (SegShare path)
+	stepMu    sync.Mutex          // guards stepCache/segCache when step joins shard
 	// childNs threads descendant evaluation time through the profiled
 	// recursion so each operator's SelfNs excludes its children; see
 	// evalProfiled. Only the driving goroutine touches it.
@@ -194,11 +196,13 @@ func (ctx *ExecContext) init() {
 	if ctx.memo == nil {
 		ctx.memo = map[*Node]*Table{}
 		ctx.binding = map[*Node]*Table{}
+		ctx.deltaBind = map[*Node]*Table{}
 		ctx.muAgg = map[*Node]*MuRun{}
 		ctx.muDeps = map[*Node]map[*Node]bool{}
 		ctx.muSite = map[*Node]int{}
 		ctx.docs = map[string]*xdm.Document{}
 		ctx.stepCache = map[stepCacheKey][]xdm.NodeRef{}
+		ctx.segCache = map[segKey][]uint64{}
 	}
 }
 
@@ -219,11 +223,11 @@ func (ctx *ExecContext) eval(n *Node) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	if n.Op != OpRecBase {
+	if n.Op != OpRecBase && n.Op != OpRecDelta {
 		ctx.memo[n] = t
 		// A memoized table was freshly materialized by this operator:
-		// charge it. OpRecBase is exempt — it aliases the current fixpoint
-		// feed, which evalMu charges once per round where it is built.
+		// charge it. OpRecBase/OpRecDelta are exempt — they alias the current
+		// fixpoint feeds, which evalMu charges once per round where built.
 		if err := ctx.chargeTable(t); err != nil {
 			return nil, err
 		}
@@ -261,6 +265,10 @@ func (ctx *ExecContext) evalProfiled(n *Node) (*Table, error) {
 			st.RowsIn += int64(kt.Len())
 		} else if bt, ok := ctx.binding[k]; ok {
 			st.RowsIn += int64(bt.Len())
+		} else if k.Op == OpRecDelta {
+			if dt, ok := ctx.deltaBind[k.RecBase]; ok {
+				st.RowsIn += int64(dt.Len())
+			}
 		}
 	}
 	st.RowsOut += int64(t.Len())
@@ -268,7 +276,7 @@ func (ctx *ExecContext) evalProfiled(n *Node) (*Table, error) {
 		st.Gathers += int64(t.Len()) * int64(len(t.cols))
 	}
 	st.AllocBytes += t.approxBytes()
-	if n.Op != OpRecBase {
+	if n.Op != OpRecBase && n.Op != OpRecDelta {
 		ctx.memo[n] = t
 		if err := ctx.chargeTable(t); err != nil {
 			return nil, err
@@ -349,6 +357,12 @@ func (ctx *ExecContext) evalOp(n *Node) (*Table, error) {
 		t, ok := ctx.binding[n]
 		if !ok {
 			return nil, xdm.NewError(xdm.ErrIFP, "recursion base referenced outside fixpoint")
+		}
+		return t, nil
+	case OpRecDelta:
+		t, ok := ctx.deltaBind[n.RecBase]
+		if !ok {
+			return nil, xdm.NewError(xdm.ErrIFP, "recursion delta referenced outside fixpoint")
 		}
 		return t, nil
 	case OpProject:
@@ -1096,6 +1110,14 @@ func (ctx *ExecContext) evalStep(n *Node) (*Table, error) {
 		return nil, err
 	}
 	c := in.Col(n.ItemCol)
+	if n.SegShare && in.cols[c].IsPacked() {
+		// Optimizer-flagged node-only context over a packed column: assemble
+		// the output from shared per-(context,axis,test) segments instead of
+		// materializing a gather entry per match (step_seg.go). Generic
+		// columns (>64-doc degradation, mixed provenance) keep the classic
+		// path — both produce byte-identical tables.
+		return ctx.evalStepSeg(n, in, c)
+	}
 	var src []int32
 	var nodes *Column
 	workers := ctx.workers()

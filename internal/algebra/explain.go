@@ -75,6 +75,8 @@ func describe(n *Node) string {
 		return fmt.Sprintf("doc(%q)", n.URI)
 	case OpRecBase:
 		return "recbase"
+	case OpRecDelta:
+		return "recdelta"
 	case OpProject:
 		parts := make([]string, len(n.Proj))
 		for i, p := range n.Proj {
@@ -113,6 +115,9 @@ func describe(n *Node) string {
 		return fmt.Sprintf("rownum[%s:⟨%s⟩/%s]", n.Col,
 			strings.Join(n.SortCols, ","), strings.Join(n.GroupCols, ","))
 	case OpStep:
+		if n.SegShare {
+			return fmt.Sprintf("step[%s::%s seg]", n.Axis, n.Test)
+		}
 		return fmt.Sprintf("step[%s::%s]", n.Axis, n.Test)
 	case OpIDLookup:
 		return "id[" + n.ItemCol + "]"

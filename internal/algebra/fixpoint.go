@@ -55,8 +55,22 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 		maxIter = core.DefaultMaxIterations
 	}
 	deps := ctx.bodyDeps(n)
+	// The optimizer's delta-fed step rewrite replaces eligible recursion-base
+	// chains with OpRecDelta leaves. Bind only the feeds the body actually
+	// reads: -O0 plans never contain recdelta, so useDelta stays false and
+	// the evaluation (tables built, budget charges, stats) is byte-identical
+	// to the unrewritten path.
+	useBase, useDelta := false, false
+	for dep := range deps {
+		switch dep.Op {
+		case OpRecBase:
+			useBase = useBase || dep == n.RecBase
+		case OpRecDelta:
+			useDelta = useDelta || dep.RecBase == n.RecBase
+		}
+	}
 	workers := ctx.workers()
-	body := func(feed *iterSets) (*iterSets, error) {
+	body := func(feed, delta *iterSets) (*iterSets, error) {
 		if err := ctx.cancelled(); err != nil {
 			return nil, err
 		}
@@ -69,11 +83,24 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 		// become collectible here: their memo entries were just dropped,
 		// and columnar tables own their vectors outright — no shared slab
 		// pins O(rounds × result) rows across rounds.
-		ft := feed.table()
-		if err := ctx.chargeTable(ft); err != nil {
-			return nil, err
+		var ft *Table
+		if useBase || !useDelta {
+			ft = feed.table()
+			if err := ctx.chargeTable(ft); err != nil {
+				return nil, err
+			}
+			ctx.binding[n.RecBase] = ft
 		}
-		ctx.binding[n.RecBase] = ft
+		if useDelta {
+			dt := ft
+			if delta != feed || dt == nil {
+				dt = delta.table()
+				if err := ctx.chargeTable(dt); err != nil {
+					return nil, err
+				}
+			}
+			ctx.deltaBind[n.RecBase] = dt
+		}
 		out, err := ctx.eval(n.Kids[1])
 		if err != nil {
 			return nil, err
@@ -85,7 +112,7 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 		return nil, err
 	}
 	t0 := tr.Now()
-	res, err := body(seed)
+	res, err := body(seed, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +131,7 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 			}
 			fed := delta.size()
 			t0 = tr.Now()
-			out, err := body(delta)
+			out, err := body(delta, delta)
 			if err != nil {
 				return nil, err
 			}
@@ -120,6 +147,13 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 			}
 		}
 	} else {
+		// Naïve µ still feeds the accumulated family, but delta-fed body
+		// fragments (OpRecDelta) see only the genuinely new part of the
+		// previous round: round 0's delta is res itself (everything is new
+		// relative to ∅), thereafter the exact absorb delta. For a body
+		// certified linear in the recursion variable this is answer- and
+		// stats-preserving — see the delta-feed rule in opt/deltarules.go.
+		prev := res
 		for round := 0; ; round++ {
 			if round >= maxIter {
 				return nil, xdm.Errorf(xdm.ErrIFP, "µ did not converge within %d rounds", maxIter)
@@ -129,7 +163,7 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 			}
 			fed := res.size()
 			t0 = tr.Now()
-			out, err := body(res)
+			out, err := body(res, prev)
 			if err != nil {
 				return nil, err
 			}
@@ -143,12 +177,14 @@ func (ctx *ExecContext) evalMu(n *Node) (*Table, error) {
 			if d.size() == 0 {
 				break
 			}
+			prev = d
 			if err := budget.ChargeRows(d.size()); err != nil {
 				return nil, err
 			}
 		}
 	}
 	delete(ctx.binding, n.RecBase)
+	delete(ctx.deltaBind, n.RecBase)
 	for dep := range deps {
 		delete(ctx.memo, dep)
 	}
@@ -204,8 +240,9 @@ func RecDependents(root *Node) map[*Node]bool {
 		if v, ok := memo[n]; ok {
 			return v
 		}
-		memo[n] = n.Op == OpRecBase // guards against cycles (none expected)
-		dep := n.Op == OpRecBase
+		leaf := n.Op == OpRecBase || n.Op == OpRecDelta
+		memo[n] = leaf // guards against cycles (none expected)
+		dep := leaf
 		for _, k := range n.Kids {
 			if walk(k) {
 				dep = true

@@ -41,6 +41,7 @@ const (
 	OpIDLookup                 // fn:id lookup join against the document ID index
 	OpCtor                     // ε/τ…: node constructor (element/attribute/text)
 	OpMu                       // µ / µ∆: inflationary fixed point
+	OpRecDelta                 // ∆: per-round delta of a recursion base (optimizer-introduced)
 )
 
 var opNames = map[OpKind]string{
@@ -49,6 +50,7 @@ var opNames = map[OpKind]string{
 	OpAntiJoin: "antijoin", OpCross: "cross", OpDistinct: "distinct", OpUnion: "union",
 	OpDiff: "diff", OpGroupCount: "count", OpNumOp: "numop", OpRowTag: "rowtag",
 	OpRowNum: "rownum", OpStep: "step", OpIDLookup: "id", OpCtor: "ctor", OpMu: "mu",
+	OpRecDelta: "recdelta",
 }
 
 // String names the operator.
@@ -148,11 +150,18 @@ type Node struct {
 	Axis    ast.Axis
 	Test    ast.NodeTest
 	ItemCol string // input node column consumed by step/id lookup
+	// SegShare makes the step executor assemble its output from shared
+	// per-(context,axis,test) match segments instead of materializing a
+	// gather entry per match. Set by the optimizer when the context column
+	// is known node-only; -O0 plans never carry it.
+	SegShare bool
 	// OpCtor
 	Ctor     CtorKind
 	CtorName string // static name ("" means Kids[1] provides per-iter names)
 	// OpMu: Kids[0] = seed, Kids[1] = body (containing the OpRecBase leaf),
 	// RecBase points at that leaf so the executor can rebind it.
+	// OpRecDelta reuses RecBase to name the site whose per-round delta it
+	// reads; the node is a leaf (the feed is bound by evalMu, not computed).
 	Delta   bool
 	RecBase *Node
 	// Desc makes OpRowNum number in descending sort order (reverse axes).
@@ -187,7 +196,7 @@ func (n *Node) Schema() []string {
 		n.schema = n.LitCols
 	case OpDoc:
 		n.schema = []string{"item"}
-	case OpRecBase:
+	case OpRecBase, OpRecDelta:
 		n.schema = []string{"iter", "pos", "item"}
 	case OpProject:
 		cols := make([]string, len(n.Proj))
@@ -233,9 +242,10 @@ func (n *Node) HasCol(col string) bool {
 }
 
 // ContainsRecBase reports whether the sub-DAG under n reaches an OpRecBase
-// leaf (memoized externally by the callers that need it in bulk).
+// (or optimizer-introduced OpRecDelta) leaf (memoized externally by the
+// callers that need it in bulk).
 func (n *Node) ContainsRecBase() bool {
-	if n.Op == OpRecBase {
+	if n.Op == OpRecBase || n.Op == OpRecDelta {
 		return true
 	}
 	for _, k := range n.Kids {

@@ -121,9 +121,13 @@ func (c *conser) signature(n *algebra.Node) string {
 		fmt.Fprintf(&sb, "|%s/%s/%s/%v", n.Col,
 			strings.Join(n.SortCols, ","), strings.Join(n.GroupCols, ","), n.Desc)
 	case algebra.OpStep:
-		fmt.Fprintf(&sb, "|%d::%d:%s:%s", n.Axis, n.Test.Kind, n.Test.Name, n.ItemCol)
+		fmt.Fprintf(&sb, "|%d::%d:%s:%s:%v", n.Axis, n.Test.Kind, n.Test.Name, n.ItemCol, n.SegShare)
 	case algebra.OpIDLookup:
 		sb.WriteString("|" + n.ItemCol + "/" + n.Col)
+	case algebra.OpRecDelta:
+		// A delta leaf's identity is the recursion site it reads: duplicate
+		// leaves minted for the same base merge into one shared node.
+		fmt.Fprintf(&sb, "|rb%d", c.id(n.RecBase))
 	}
 	return sb.String()
 }

@@ -24,8 +24,9 @@ func Optimize(p *algebra.Plan) {
 		return
 	}
 	root := p.Root
+	strict := strictSites(p)
 	for i := 0; i < maxPasses; i++ {
-		r := newRewriter(root)
+		r := newRewriter(root, deltaEligible(root, strict))
 		next := r.rewrite(root)
 		if !r.changed {
 			break

@@ -35,10 +35,18 @@ func PlanHash(root *algebra.Node) uint64 {
 		for _, k := range n.Kids {
 			visit(k)
 		}
-		if n.Op == algebra.OpMu && n.RecBase != nil {
-			// The rec-base backlink is part of µ's identity; by the time we
-			// hash it, the leaf has been visited via the body.
-			fmt.Fprintf(h, "@%d", ids[n.RecBase])
+		if (n.Op == algebra.OpMu || n.Op == algebra.OpRecDelta) && n.RecBase != nil {
+			// The rec-base backlink is part of µ's (and a delta leaf's)
+			// identity. For µ the leaf was visited via the body; a delta leaf
+			// may precede its base in DFS order (or the base may be fully
+			// rewritten away), so assign its id on demand — still
+			// deterministic, ids follow first-mention order.
+			id, ok := ids[n.RecBase]
+			if !ok {
+				id = len(ids)
+				ids[n.RecBase] = id
+			}
+			fmt.Fprintf(h, "@%d", id)
 		}
 		fmt.Fprint(h, ")")
 	}
@@ -94,7 +102,7 @@ func writeFields(h io.Writer, n *algebra.Node) {
 		fmt.Fprintf(&sb, "|%s/%s/%s", n.Col,
 			strings.Join(n.SortCols, ","), strings.Join(n.GroupCols, ","))
 	case algebra.OpStep:
-		fmt.Fprintf(&sb, "|%d::%d:%s:%s", n.Axis, n.Test.Kind, n.Test.Name, n.ItemCol)
+		fmt.Fprintf(&sb, "|%d::%d:%s:%s:%v", n.Axis, n.Test.Kind, n.Test.Name, n.ItemCol, n.SegShare)
 	case algebra.OpIDLookup:
 		sb.WriteString("|" + n.ItemCol + "/" + n.Col)
 	case algebra.OpCtor:

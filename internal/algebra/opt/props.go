@@ -108,12 +108,12 @@ func (a *Analysis) infer(n *algebra.Node) *Props {
 	case algebra.OpDoc:
 		p.Keys = [][]string{{}}
 		p.NodeOnly["item"] = true
-	case algebra.OpRecBase, algebra.OpMu:
-		// µ results and recursion-base feeds are iterSets tables: nodes
-		// deduplicated per iteration, pos the per-iteration rank.
+	case algebra.OpRecBase, algebra.OpRecDelta, algebra.OpMu:
+		// µ results, recursion-base feeds, and per-round deltas are iterSets
+		// tables: nodes deduplicated per iteration, pos the per-iteration rank.
 		p.Keys = [][]string{{"item", "iter"}, {"iter", "pos"}}
 		p.NodeOnly["item"] = true
-		p.LoopDep = p.LoopDep || n.Op == algebra.OpRecBase
+		p.LoopDep = p.LoopDep || n.Op != algebra.OpMu
 	case algebra.OpProject:
 		// A key set survives a projection when every key column keeps at
 		// least one output name; node-onlyness follows the rename.

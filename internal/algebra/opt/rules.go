@@ -184,14 +184,19 @@ type rewriter struct {
 	an      *Analysis
 	semi    map[*algebra.Node]bool // joins convertible under a δ∘π context
 	memo    map[*algebra.Node]*algebra.Node
-	changed bool
+	// delta marks recursion bases whose step consumers may read the round's
+	// delta feed (deltarules.go); recDeltas interns the one ∆ leaf per base.
+	delta     map[*algebra.Node]bool
+	recDeltas map[*algebra.Node]*algebra.Node
+	changed   bool
 }
 
-func newRewriter(root *algebra.Node) *rewriter {
+func newRewriter(root *algebra.Node, delta map[*algebra.Node]bool) *rewriter {
 	live, parents := liveness(root)
 	r := &rewriter{
 		live: live, parents: parents, an: Analyze(root),
 		semi: map[*algebra.Node]bool{}, memo: map[*algebra.Node]*algebra.Node{},
+		delta: delta, recDeltas: map[*algebra.Node]*algebra.Node{},
 	}
 	r.findSemiJoinContexts(root)
 	return r
@@ -302,6 +307,8 @@ func (r *rewriter) rules(old, n *algebra.Node) *algebra.Node {
 		return r.joinRules(old, n)
 	case algebra.OpUnion:
 		return alignUnion(n)
+	case algebra.OpStep, algebra.OpIDLookup:
+		return r.stepRules(old, n)
 	}
 	return n
 }
@@ -452,7 +459,7 @@ func copyWithKids(n *algebra.Node, kids []*algebra.Node) *algebra.Node {
 		Proj: n.Proj, Col: n.Col, Val: n.Val, Preds: n.Preds,
 		GroupCols: n.GroupCols, SortCols: n.SortCols,
 		Num: n.Num, NumArgs: n.NumArgs,
-		Axis: n.Axis, Test: n.Test, ItemCol: n.ItemCol,
+		Axis: n.Axis, Test: n.Test, ItemCol: n.ItemCol, SegShare: n.SegShare,
 		Ctor: n.Ctor, CtorName: n.CtorName,
 		Delta: n.Delta, RecBase: n.RecBase, Desc: n.Desc,
 		Template: n.Template, Bookkeeping: n.Bookkeeping,

@@ -1,0 +1,121 @@
+package algebra
+
+import (
+	"repro/internal/par"
+	"repro/internal/xq/ast"
+)
+
+// Segment-sharing step execution (the optimizer's SegShare flag): instead of
+// materializing one gather entry per (context row, match) pair, the step
+// computes one shared match segment per distinct (context node, axis, test)
+// — a packed []uint64 of result identities — and assembles its output by
+// bulk-appending segments and run-expanding the carried columns with
+// per-row match counts. Identical contexts across rows (every fixpoint round
+// re-steps from the same accumulated nodes, self-joins, dense loop
+// relations) pay the axis scan and the per-match copy once.
+//
+// The path is representation-exact with the classic stepRange: same row
+// order (context order, document-order matches within a context), the result
+// column packed over the input's dictionary (axes stay in-document), carried
+// columns expanded in the same order a gather by source index would produce.
+// It only runs over packed context columns; generic inputs (>64-document
+// degradation, mixed provenance) fall back to the classic path in evalStep.
+
+// segKey identifies one shared segment. The packed identity word already
+// encodes (document stamp, pre) — stamps are globally unique — so the word
+// itself replaces the (doc pointer, pre) pair of stepCacheKey.
+type segKey struct {
+	word uint64
+	axis ast.Axis
+	kind ast.TestKind
+	name string
+}
+
+// evalStepSeg is the SegShare execution of an OpStep over the packed context
+// column c of in. Sharding mirrors evalStep: row chunks across the worker
+// pool, chunk-ordered concatenation, so output is byte-identical at every
+// worker count.
+func (ctx *ExecContext) evalStepSeg(n *Node, in *Table, c int) (*Table, error) {
+	col := in.cols[c]
+	workers := ctx.workers()
+	var counts []int32
+	var words []uint64
+	if workers <= 1 || in.n < 2*parMinRows {
+		if err := ctx.cancelled(); err != nil {
+			return nil, err
+		}
+		counts, words = ctx.stepSegRange(n, col, 0, in.n, false)
+	} else {
+		chunks := par.Chunks(in.n, workers, parMinRows)
+		cnts := make([][]int32, len(chunks))
+		wrds := make([][]uint64, len(chunks))
+		if err := par.Run(ctx.Ctx, workers, len(chunks), func(i int) error {
+			cnts[i], wrds[i] = ctx.stepSegRange(n, col, chunks[i][0], chunks[i][1], true)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, w := range wrds {
+			total += len(w)
+		}
+		counts = make([]int32, 0, in.n)
+		words = make([]uint64, 0, total)
+		for i := range chunks {
+			counts = append(counts, cnts[i]...)
+			words = append(words, wrds[i]...)
+		}
+	}
+	nodes := &Column{}
+	if len(words) > 0 {
+		nodes = &Column{packed: words, docs: col.docs}
+	}
+	cols := make([]*Column, len(in.cols))
+	for i, cc := range in.cols {
+		if i == c {
+			cols[i] = nodes
+			continue
+		}
+		cols[i] = cc.expandRuns(counts, len(words))
+	}
+	return &Table{Cols: in.Cols, cols: cols, n: len(words)}, nil
+}
+
+// stepSegRange answers rows [lo, hi): per row, the shared segment for its
+// (context, axis, test) is fetched or computed, its length recorded, and its
+// words bulk-appended. Cache locking mirrors stepRange: sharded calls take
+// stepMu around cache access (a raced miss computes the identical immutable
+// segment twice; last write wins), unsharded calls skip the lock.
+func (ctx *ExecContext) stepSegRange(n *Node, col *Column, lo, hi int, shared bool) ([]int32, []uint64) {
+	counts := make([]int32, hi-lo)
+	var words []uint64
+	r := col.reader()
+	for i := lo; i < hi; i++ {
+		key := segKey{word: col.packed[i], axis: n.Axis, kind: n.Test.Kind, name: n.Test.Name}
+		if shared {
+			ctx.stepMu.Lock()
+		}
+		seg, ok := ctx.segCache[key]
+		if shared {
+			ctx.stepMu.Unlock()
+		}
+		if !ok {
+			node := r.node(i)
+			for _, m := range axisNodes(node, n.Axis) {
+				if matchTest(m, n.Test, n.Axis) {
+					seg = append(seg, nodeKey64(m))
+				}
+			}
+			if shared {
+				ctx.stepMu.Lock()
+			}
+			ctx.segCache[key] = seg
+			if shared {
+				ctx.stepMu.Unlock()
+			}
+		}
+		counts[i-lo] = int32(len(seg))
+		words = append(words, seg...)
+	}
+	return counts, words
+}

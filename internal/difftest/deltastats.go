@@ -1,0 +1,82 @@
+package difftest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	ifpxq "repro"
+	"repro/internal/obs"
+	"repro/internal/xdm"
+)
+
+// CheckRoundStats proves the optimizer's delta-fed step rewrite is
+// invisible to the fixpoint accounting: for every (mode, parallelism)
+// configuration of the relational engine, the per-round trace spans —
+// site label, round number, nodes fed, delta size — must be identical
+// between -O0 (which never carries the rewrite) and -O1 (which may feed
+// eligible step chains from the round's delta). Only durations may
+// differ. A rewrite that altered convergence, fed-back counts, or delta
+// sizes would surface here round by round, with more precision than the
+// end-to-end result comparison.
+func CheckRoundStats(t testing.TB, c Case) {
+	t.Helper()
+	if c.RegularXPath {
+		return // translated plans share the relational pipeline via difftest.Check
+	}
+	q, err := ifpxq.Parse(c.Query)
+	if err != nil {
+		t.Fatalf("seed %d: parse %q: %v", c.Seed, c.Query, err)
+	}
+	doc, err := ifpxq.ParseDocument(c.XML, c.URI)
+	if err != nil {
+		t.Fatalf("seed %d: document: %v", c.Seed, err)
+	}
+	docs := ifpxq.DocsFromDocuments(map[string]*xdm.Document{c.URI: doc})
+
+	for _, mode := range []ifpxq.Mode{ifpxq.ModeNaive, ifpxq.ModeAuto} {
+		for _, p := range Parallelisms {
+			var spans [2]string
+			var outs [2]outcome
+			for i, opt := range []ifpxq.OptLevel{ifpxq.Opt0, ifpxq.Opt1} {
+				tr := obs.NewTrace("deltastats")
+				opts := ifpxq.Options{
+					Engine: ifpxq.EngineRelational, Mode: mode,
+					Docs: docs, Parallelism: p, Opt: opt, Trace: tr,
+				}
+				outs[i] = evalOutcome(q, opts)
+				spans[i] = roundSpans(tr)
+			}
+			if outs[0].err != outs[1].err {
+				t.Errorf("seed %d mode=%v p=%d: -O0 and -O1 disagree on the error: %q vs %q",
+					c.Seed, mode, p, outs[0].err, outs[1].err)
+			}
+			if outs[0].result != outs[1].result {
+				t.Errorf("seed %d mode=%v p=%d: -O0 and -O1 disagree on the result",
+					c.Seed, mode, p)
+			}
+			if spans[0] != spans[1] {
+				t.Errorf("seed %d mode=%v p=%d: per-round stats diverge between -O0 and -O1:\n-O0:\n%s\n-O1:\n%s",
+					c.Seed, mode, p, spans[0], spans[1])
+			}
+		}
+	}
+}
+
+// roundSpans renders a trace's round spans with durations elided: one
+// "label round fed delta" line per span, in recording order.
+func roundSpans(tr *obs.Trace) string {
+	sites := tr.Sites()
+	var sb strings.Builder
+	for _, r := range tr.Rounds() {
+		label := "?"
+		if r.Site >= 0 && r.Site < len(sites) {
+			label = sites[r.Site]
+		}
+		fmt.Fprintf(&sb, "%s round=%d fed=%d delta=%d\n", label, r.Round, r.Fed, r.Delta)
+	}
+	if d := tr.Dropped(); d > 0 {
+		fmt.Fprintf(&sb, "dropped=%d\n", d)
+	}
+	return sb.String()
+}
