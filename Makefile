@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json bench-store bench-parallel bench-opt bench-check bench-baseline cover fmt-check fuzz explain explain-update vet lint ci clean loadsmoke obs-check cache-check
+.PHONY: all build test bench bench-json bench-store bench-parallel bench-opt bench-index bench-check bench-baseline cover fmt-check fuzz explain explain-update vet lint ci clean loadsmoke obs-check cache-check index-check
 
 all: build test
 
@@ -85,12 +85,21 @@ obs-check:
 cache-check:
 	$(GO) test -run 'TestCachingParity' -count=1 ./internal/difftest
 
+# Index gate: same seed block, every configuration evaluated with the
+# name-index probe path disabled (pure arena scans) and enabled (the
+# production default). Results, errors, and fixpoint statistics must stay
+# byte-identical, and the probe path must have actually fired somewhere in
+# the block.
+index-check:
+	$(GO) test -run 'TestIndexParity' -count=1 ./internal/difftest
+
 # What CI runs (see .github/workflows/ci.yml). The -race pass covers the
 # concurrent store/xqd tests and the parallel fixpoint pools; the plain
 # pass runs the differential-harness seed block (internal/difftest); the
 # coverage step enforces the internal/algebra floor; loadsmoke gates the
 # overload/degradation contract; obs-check gates tracing-on/off parity;
-# cache-check gates caches-on/off parity.
+# cache-check gates caches-on/off parity; index-check gates indexed-vs-
+# scan parity.
 ci:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -100,6 +109,7 @@ ci:
 	$(MAKE) cover
 	$(MAKE) obs-check
 	$(MAKE) cache-check
+	$(MAKE) index-check
 	$(MAKE) loadsmoke
 
 # Differential fuzzing: random documents + random fixpoint queries, every
@@ -137,12 +147,14 @@ endef
 
 # BENCH_CHECK_EXPS is the short bench-gate workload, kept to minutes per
 # PR while covering both relational fixpoint algorithms. T2.1 is the
-# shallow bidder cell; T2.8 (hospital pedigrees) is the deep-recursion
-# cell whose optimized plan carries the delta-fed step rewrite (recdelta),
-# so per-round step cost regressions on the delta path gate here.
-# Regenerate the committed baseline (bench-baseline) whenever a PR moves
-# these numbers on purpose.
-BENCH_CHECK_EXPS ?= T2.1,T2.8
+# shallow bidder cell; T2.4 (huge bidder network) is the step-dominated
+# cell where the interpreter's name-index probes buy 4.5× over arena
+# scans, so index-path regressions gate here; T2.8 (hospital pedigrees)
+# is the deep-recursion cell whose optimized plan carries the delta-fed
+# step rewrite (recdelta), so per-round step cost regressions on the
+# delta path gate here. Regenerate the committed baseline
+# (bench-baseline) whenever a PR moves these numbers on purpose.
+BENCH_CHECK_EXPS ?= T2.1,T2.4,T2.8
 
 # bench-check is the CI regression gate: measure the short workload into
 # BENCH_pr.json and compare against the committed BENCH_baseline.json.
@@ -150,11 +162,13 @@ BENCH_CHECK_EXPS ?= T2.1,T2.8
 # tight 25% gate; ns/op is measured on whatever runner CI hands out while
 # the baseline came from another machine entirely, so it only catches
 # catastrophic (>2×) slowdowns — anything tighter would flake on runner
-# variance rather than code.
+# variance rather than code. All cells gate — the interpreter cells are
+# where the index-probe path shows, the relational cells where the
+# fixpoint fabric does.
 bench-check:
 	$(GO) run ./cmd/ifpbench -exp $(BENCH_CHECK_EXPS) -json BENCH_pr.json
 	$(GO) run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_pr.json \
-		-cells '/rel/' -ns-tolerance 1.0 -allocs-tolerance 0.25
+		-cells '' -ns-tolerance 1.0 -allocs-tolerance 0.25
 
 # bench-baseline refreshes the committed gate baseline from the same
 # workload bench-check measures.
@@ -180,6 +194,12 @@ bench-parallel:
 # layer buys per cell stays diffable across PRs.
 bench-opt:
 	@out=$(next-bench); echo "writing $$out"; $(GO) run ./cmd/ifpbench -opt-sweep -json $$out
+
+# Index sweep (see BENCH_10.json): every cell measured with name-index
+# probing off and on (…/ix=0 and …/ix=1 entries), so what the persistent
+# snapshot indexes buy per cell stays diffable across PRs.
+bench-index:
+	@out=$(next-bench); echo "writing $$out"; $(GO) run ./cmd/ifpbench -index-sweep -json $$out
 
 clean:
 	rm -f ifpbench xq xqd distcheck xmlgen benchdiff *.test BENCH_snapshot*.json

@@ -57,6 +57,7 @@ func main() {
 		sweep      = flag.String("parallel", "", "comma-separated worker counts to sweep (e.g. 1,2,4,8); writes one entry per (cell, p)")
 		optLevel   = flag.Int("O", 1, "relational plan optimizer level (0 = verbatim plan, 1 = rewrite rules on)")
 		optSweep   = flag.Bool("opt-sweep", false, "measure every cell at -O0 and -O1 (entries suffixed /O=N); requires -json")
+		indexSweep = flag.Bool("index-sweep", false, "measure every cell with index probing off and on (entries suffixed /ix=N); requires -json")
 		cacheSweep = flag.Bool("cache-sweep", false, "measure every cell uncached and through warm plan/result caches (entries suffixed /cache=N); requires -json")
 	)
 	flag.Parse()
@@ -106,6 +107,14 @@ func main() {
 
 	if *optSweep {
 		if err := writeOptSweep(*jsonPath, exps, *parallel); err != nil {
+			fmt.Fprintf(os.Stderr, "ifpbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *indexSweep {
+		if err := writeIndexSweep(*jsonPath, exps, *parallel); err != nil {
 			fmt.Fprintf(os.Stderr, "ifpbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -208,6 +217,27 @@ func writeOptSweep(path string, exps []bench.Experiment, parallelism int) error 
 	return writeBenchFile(path, out)
 }
 
+// writeIndexSweep measures each cell with the name-index probe path
+// disabled (pure arena scans, /ix=0) and enabled (the production default,
+// /ix=1), so a snapshot records what index probing buys per (experiment,
+// engine, algorithm) cell. Interpreter cells never probe and are measured
+// once, tagged /ix=1 as the default level.
+func writeIndexSweep(path string, exps []bench.Experiment, parallelism int) error {
+	if path == "" {
+		return fmt.Errorf("-index-sweep requires -json <file>")
+	}
+	out := newBenchFile()
+	cfg := measureConfig{counts: []int{parallelism}, optLevels: []int{1}, ixLevels: []int{0, 1}, tagIx: true}
+	for _, e := range exps {
+		entries, err := measureExperiment(e, cfg)
+		if err != nil {
+			return err
+		}
+		out.Entries = append(out.Entries, entries...)
+	}
+	return writeBenchFile(path, out)
+}
+
 // sweepDefaults is the worker-sweep experiment subset: the fixpoint
 // workloads whose round internals dominate, with the larger bidder
 // networks dropped to keep a full 1/2/4/8 sweep tractable.
@@ -249,8 +279,10 @@ func writeParallelSweep(path string, exps []bench.Experiment, counts []int, opt0
 type measureConfig struct {
 	counts    []int
 	optLevels []int // subset of {0, 1}
+	ixLevels  []int // subset of {0, 1}; nil = indexed only (the default)
 	tagP      bool
 	tagO      bool
+	tagIx     bool
 }
 
 // measureExperiment benchmarks one experiment's four cells at each
@@ -269,60 +301,73 @@ func measureExperiment(e bench.Experiment, cfg measureConfig) ([]BenchEntry, err
 		runner.Parallelism = p
 		for _, engine := range []string{bench.EngineInterp, bench.EngineRelational} {
 			for _, alg := range []core.Algorithm{core.Naive, core.Delta} {
+				ixLevels := cfg.ixLevels
+				if ixLevels == nil {
+					ixLevels = []int{1} // indexed execution is the default
+				}
 				for _, o := range cfg.optLevels {
 					if engine == bench.EngineInterp && o == 0 && len(cfg.optLevels) > 1 {
 						continue // no plan, no optimizer: skip the duplicate cell
 					}
 					runner.Opt0 = o == 0
-					name := fmt.Sprintf("%s/%s/%s/%s", e.ID, e.Name, engine, alg)
-					if tagged := o; cfg.tagO {
-						if engine == bench.EngineInterp && len(cfg.optLevels) > 1 {
-							tagged = 1 // sweep measures interp once, as the default level
-						}
-						name = fmt.Sprintf("%s/O=%d", name, tagged)
-					}
-					if cfg.tagP {
-						name = fmt.Sprintf("%s/p=%d", name, p)
-					}
-					fmt.Fprintf(os.Stderr, "measuring %s…\n", name)
-					// Collect between cells: an earlier cell's giant tables
-					// otherwise inflate the GC pacing target and tax every
-					// later cell — which skews exactly the cross-p (and
-					// cross-O) comparisons a sweep exists to make.
-					runtime.GC()
-					runtime.GC()
-					var meas bench.Measurement
-					var runErr error
-					res := testing.Benchmark(func(b *testing.B) {
-						b.ReportAllocs()
-						for i := 0; i < b.N; i++ {
-							m, err := prep.RunCell(engine, alg)
-							if err != nil {
-								// b.Fatal would swallow the error into the
-								// discarded benchmark buffer and return a zero
-								// result; surface it.
-								runErr = err
-								b.FailNow()
+					for _, ix := range ixLevels {
+						runner.NoIndex = ix == 0
+						name := fmt.Sprintf("%s/%s/%s/%s", e.ID, e.Name, engine, alg)
+						if tagged := o; cfg.tagO {
+							if engine == bench.EngineInterp && len(cfg.optLevels) > 1 {
+								tagged = 1 // sweep measures interp once, as the default level
 							}
-							meas = m
+							name = fmt.Sprintf("%s/O=%d", name, tagged)
 						}
-					})
-					if runErr != nil {
-						return nil, fmt.Errorf("%s: %w", name, runErr)
+						if cfg.tagIx {
+							// Both engines honour ix: the interpreter gates its
+							// dynamic probe, the relational engine compiles the
+							// arena-scan plan shape.
+							name = fmt.Sprintf("%s/ix=%d", name, ix)
+						}
+						if cfg.tagP {
+							name = fmt.Sprintf("%s/p=%d", name, p)
+						}
+						fmt.Fprintf(os.Stderr, "measuring %s…\n", name)
+						// Collect between cells: an earlier cell's giant tables
+						// otherwise inflate the GC pacing target and tax every
+						// later cell — which skews exactly the cross-p (and
+						// cross-O) comparisons a sweep exists to make.
+						runtime.GC()
+						runtime.GC()
+						var meas bench.Measurement
+						var runErr error
+						res := testing.Benchmark(func(b *testing.B) {
+							b.ReportAllocs()
+							for i := 0; i < b.N; i++ {
+								m, err := prep.RunCell(engine, alg)
+								if err != nil {
+									// b.Fatal would swallow the error into the
+									// discarded benchmark buffer and return a zero
+									// result; surface it.
+									runErr = err
+									b.FailNow()
+								}
+								meas = m
+							}
+						})
+						if runErr != nil {
+							return nil, fmt.Errorf("%s: %w", name, runErr)
+						}
+						if res.N == 0 {
+							return nil, fmt.Errorf("%s: benchmark produced no measurement", name)
+						}
+						entries = append(entries, BenchEntry{
+							Name:     name,
+							Phase:    "snapshot",
+							NsOp:     float64(res.NsPerOp()),
+							BytesOp:  res.AllocedBytesPerOp(),
+							AllocsOp: res.AllocsPerOp(),
+							NodesFed: meas.Stats.NodesFedBack,
+							Depth:    meas.Stats.Depth,
+							PhaseNs:  meas.Phases,
+						})
 					}
-					if res.N == 0 {
-						return nil, fmt.Errorf("%s: benchmark produced no measurement", name)
-					}
-					entries = append(entries, BenchEntry{
-						Name:     name,
-						Phase:    "snapshot",
-						NsOp:     float64(res.NsPerOp()),
-						BytesOp:  res.AllocedBytesPerOp(),
-						AllocsOp: res.AllocsPerOp(),
-						NodesFed: meas.Stats.NodesFedBack,
-						Depth:    meas.Stats.Depth,
-						PhaseNs:  meas.Phases,
-					})
 				}
 			}
 		}

@@ -21,6 +21,7 @@ import (
 	"os"
 
 	ifpxq "repro"
+	"repro/internal/xdm"
 )
 
 func main() {
@@ -150,6 +151,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		s := st.Cache().Stats()
 		fmt.Fprintf(stderr, "store: hits=%d misses=%d evictions=%d docs=%d bytes=%d\n",
 			s.Hits, s.Misses, s.Evictions, s.Docs, s.Bytes)
+		// Index state per resident document (persistent = decoded from a
+		// v2 snapshot; built = lazily constructed in memory), plus the
+		// process-wide probe/fallback counters for the step executor.
+		var indexed, persistent int
+		var ixBytes int64
+		for _, di := range st.Cache().Docs() {
+			if di.Index.Present {
+				indexed++
+				ixBytes += di.Index.Bytes
+			}
+			if di.Index.Persistent {
+				persistent++
+			}
+		}
+		probes, fallbacks := xdm.IndexCounters()
+		fmt.Fprintf(stderr, "index: docs=%d persistent=%d bytes=%d probes=%d fallbacks=%d\n",
+			indexed, persistent, ixBytes, probes, fallbacks)
 	}
 	if *stats {
 		for i, fp := range res.Fixpoints {

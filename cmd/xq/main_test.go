@@ -25,7 +25,7 @@ func runXQ(t *testing.T, args ...string) (int, string, string) {
 func fixtures(t *testing.T) (storeDir, dirDir string) {
 	t.Helper()
 	storeDir, dirDir = t.TempDir(), t.TempDir()
-	doc, err := xmldoc.ParseString(xmlgen.Curriculum(xmlgen.CurriculumSized(30)), "curriculum.xml")
+	doc, err := xmldoc.ParseString(xmlgen.Curriculum(xmlgen.CurriculumSized(100)), "curriculum.xml")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,8 +50,8 @@ func TestStoreThenDirResolution(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("store hit: exit %d, stderr %q", code, stderr)
 	}
-	if strings.TrimSpace(out) != "30" {
-		t.Fatalf("store hit: got %q, want 30", out)
+	if strings.TrimSpace(out) != "100" {
+		t.Fatalf("store hit: got %q, want 100", out)
 	}
 
 	// Plain XML inside the store directory (no snapshot) parses.
@@ -105,12 +105,20 @@ func TestResolutionErrorNamesEveryPath(t *testing.T) {
 func TestStoreStatsOutput(t *testing.T) {
 	storeDir, dirDir := fixtures(t)
 	code, _, stderr := runXQ(t, "-store", storeDir, "-dir", dirDir, "-store-stats",
-		"-q", `count(doc("curriculum.xml")//course)`)
+		"-engine", "rel", "-q", `count(doc("curriculum.xml")//course)`)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr %q", code, stderr)
 	}
 	if !strings.Contains(stderr, "store: hits=0 misses=1") {
 		t.Fatalf("-store-stats output missing or wrong:\n%s", stderr)
+	}
+	// The snapshot-backed document carries a persistent index, and the
+	// name-tested descendant step probes it.
+	if !strings.Contains(stderr, "index: docs=1 persistent=1") {
+		t.Fatalf("-store-stats index line missing or wrong:\n%s", stderr)
+	}
+	if strings.Contains(stderr, "probes=0 ") {
+		t.Fatalf("-store-stats reports no index probes for an index-eligible query:\n%s", stderr)
 	}
 	// Without -store, -store-stats must not print (no store opened).
 	code, _, stderr = runXQ(t, "-dir", dirDir, "-store-stats",

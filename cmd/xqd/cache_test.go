@@ -12,6 +12,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/obs"
 	"repro/internal/store"
+	"repro/internal/xdm"
 	"repro/internal/xmldoc"
 )
 
@@ -22,7 +23,9 @@ func cacheTestServer(t *testing.T) (*server, *httptest.Server, string) {
 	t.Helper()
 	dir := t.TempDir()
 	path := filepath.Join(dir, "d.xml"+store.Ext)
-	doc, err := xmldoc.ParseString("<r><a/></r>", "d.xml")
+	// The filler keeps the root's subtree above the probe's minimum
+	// window, so index-eligible steps actually probe rather than walk.
+	doc, err := xmldoc.ParseString("<r><a/>"+strings.Repeat("<b/>", 300)+"</r>", "d.xml")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,6 +100,44 @@ func TestStaleDocumentOverHTTP(t *testing.T) {
 	// The fresh result is itself cached again.
 	if got := get(""); got != "3" {
 		t.Fatalf("recached eval: %s", got)
+	}
+}
+
+// TestStaleIndexedQueryOverHTTP extends the stale-document regression to
+// the index probe path: an index-eligible query (a name-tested descendant
+// step, probed from the persistent snapshot index) must see a snapshot
+// rewrite on the very next request. A stale cached index over the old
+// arena's pre ranks would return the old count here.
+func TestStaleIndexedQueryOverHTTP(t *testing.T) {
+	_, hs, path := cacheTestServer(t)
+	q := url.QueryEscape(`count(doc("d.xml")//a)`)
+
+	get := func() string {
+		t.Helper()
+		var resp queryResponse
+		if code := getJSON(t, hs.URL+"/query?engine=rel&q="+q, &resp); code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		return resp.Result
+	}
+	probes0, _ := xdm.IndexCounters()
+	if got := get(); got != "1" {
+		t.Fatalf("first eval: %s", got)
+	}
+	if probes, _ := xdm.IndexCounters(); probes == probes0 {
+		t.Fatalf("descendant step did not probe the index")
+	}
+
+	doc, err := xmldoc.ParseString("<r><a/><a/><a/></r>", "d.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond) // ensure the snapshot mtime advances
+	if err := store.Save(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	if got := get(); got != "3" {
+		t.Fatalf("indexed query after rewrite served a stale result: %s", got)
 	}
 }
 
@@ -190,6 +231,14 @@ func TestCacheMetrics(t *testing.T) {
 	}
 	if _, ok := after["xqd_store_generation"]; !ok {
 		t.Error("xqd_store_generation missing from the scrape")
+	}
+	// The uncached first evaluation resolves its name-tested steps through
+	// the index probe path; the fallback series must scrape even at zero.
+	if delta["xqd_index_probes_total"] <= 0 {
+		t.Errorf("xqd_index_probes_total delta = %g, want > 0", delta["xqd_index_probes_total"])
+	}
+	if _, ok := after["xqd_index_fallbacks_total"]; !ok {
+		t.Error("xqd_index_fallbacks_total missing from the scrape")
 	}
 }
 

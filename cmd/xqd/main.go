@@ -337,6 +337,14 @@ func newServerMetrics(s *server) *serverMetrics {
 		cacheStat(func(st store.CacheStats) float64 { return float64(st.Invalidations) }))
 	reg.GaugeFunc("xqd_store_generation", "Store cache generation; moves whenever any document leaves the cache.",
 		cacheStat(func(st store.CacheStats) float64 { return float64(st.Generation) }))
+	// Step-executor index counters: probes are steps resolved against a
+	// document's name index; fallbacks are index-eligible steps that
+	// reverted to the arena walk (probe heuristics declined). Process-wide
+	// atomics, so the series survive cache evictions.
+	reg.CounterFunc("xqd_index_probes_total", "Steps resolved through the name-index probe path.",
+		func() float64 { probes, _ := xdm.IndexCounters(); return float64(probes) })
+	reg.CounterFunc("xqd_index_fallbacks_total", "Index-eligible steps that fell back to the arena walk.",
+		func() float64 { _, fallbacks := xdm.IndexCounters(); return float64(fallbacks) })
 	// The plan/result cache families read through the nil-safe Stats
 	// methods, so a server running with either cache disabled scrapes
 	// zeros rather than losing the series.

@@ -20,7 +20,7 @@ import (
 func testServer(t *testing.T, opts store.Options, configure ...func(*server)) (*server, *httptest.Server) {
 	t.Helper()
 	dir := t.TempDir()
-	doc, err := xmldoc.ParseString(xmlgen.Curriculum(xmlgen.CurriculumSized(40)), "curriculum.xml")
+	doc, err := xmldoc.ParseString(xmlgen.Curriculum(xmlgen.CurriculumSized(100)), "curriculum.xml")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,6 +93,10 @@ func TestQueryEndpoint(t *testing.T) {
 	}
 	if len(stats.Docs) != 1 || stats.Docs[0].Stats.Nodes == 0 {
 		t.Fatalf("docs stats missing: %+v", stats.Docs)
+	}
+	// The snapshot-served document carries its persistent index from load.
+	if ix := stats.Docs[0].Index; !ix.Present || !ix.Persistent || ix.Bytes <= 0 || ix.Lists == 0 {
+		t.Fatalf("docs index info missing or wrong: %+v", stats.Docs[0].Index)
 	}
 }
 

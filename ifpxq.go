@@ -153,6 +153,11 @@ type Options struct {
 	// Naïve/Delta drivers, all shard across it. 0 = runtime.GOMAXPROCS(0),
 	// 1 = sequential. Results are byte-identical at every setting.
 	Parallelism int
+	// NoIndex disables the relational step executor's name-index probe
+	// path (optimizer-flagged steps fall back to arena walks). Results
+	// are byte-identical either way — the knob exists for the difftest
+	// index-parity gate and the bench index sweep.
+	NoIndex bool
 	// Context, when non-nil, cancels evaluation: fixpoint rounds observe
 	// it between rounds and inside sharded operators, and the worker pool
 	// is fully drained before the context's error is returned.
@@ -509,7 +514,8 @@ func (q *Query) newInterpEngine(opts *Options, budget *xdm.Budget, docs DocResol
 		Mode: mode, MaxIterations: opts.MaxIterations,
 		Docs: docs, ContextItem: opts.ContextItem,
 		Parallelism: opts.Parallelism, Context: opts.Context,
-		Budget: budget, Trace: opts.Trace,
+		NoIndex: opts.NoIndex,
+		Budget:  budget, Trace: opts.Trace,
 	})
 }
 

@@ -34,6 +34,9 @@ type Options struct {
 	// (0 = GOMAXPROCS, 1 = sequential); results are byte-identical at
 	// every setting.
 	Parallelism int
+	// NoIndex disables the name-index probe path in the step executor;
+	// results are byte-identical either way (difftest CheckIndexes).
+	NoIndex bool
 	// Context, when non-nil, cancels execution between and within rounds.
 	Context context.Context
 	// Budget, when non-nil, bounds execution: every freshly materialized
@@ -127,7 +130,8 @@ func (e *Engine) Plan() *Plan { return e.plan }
 func (e *Engine) Eval() (xdm.Sequence, []MuRun, error) {
 	ctx := &ExecContext{
 		Docs: e.opts.Docs, MaxIterations: e.opts.MaxIterations,
-		Parallelism: e.opts.Parallelism, Ctx: e.opts.Context,
+		Parallelism: e.opts.Parallelism, NoIndex: e.opts.NoIndex,
+		Ctx:      e.opts.Context,
 		LoopDeps: e.plan.LoopDeps, Budget: e.opts.Budget,
 		Trace: e.opts.Trace, Prof: e.opts.Prof,
 	}

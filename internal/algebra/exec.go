@@ -122,6 +122,10 @@ type ExecContext struct {
 	// ranges across it (0 = GOMAXPROCS, 1 = sequential). Output order is
 	// chunk-deterministic: results are byte-identical at every setting.
 	Parallelism int
+	// NoIndex disables the name-index probe path: optimizer-flagged steps
+	// fall back to arena walks. Results are byte-identical either way —
+	// the toggle exists for the difftest parity gate and the bench sweep.
+	NoIndex bool
 	// Ctx, when non-nil, cancels the execution between fixpoint rounds and
 	// inside the sharded operators; the pool always drains before the
 	// context's error is returned.
@@ -180,6 +184,10 @@ type stepCacheKey struct {
 	axis ast.Axis
 	kind ast.TestKind
 	name string
+	// Pushed-down value-equality filter (Node.ValEq): steps that differ
+	// only in the filter must not share cache entries.
+	val    string
+	hasVal bool
 }
 
 // MuRuns returns the fixpoint instrumentation collected so far.
@@ -1172,7 +1180,8 @@ func (ctx *ExecContext) stepRange(n *Node, col *Column, lo, hi int, shared bool)
 			continue
 		}
 		node := r.node(i)
-		key := stepCacheKey{doc: node.D, pre: node.Pre, axis: n.Axis, kind: n.Test.Kind, name: n.Test.Name}
+		key := stepCacheKey{doc: node.D, pre: node.Pre, axis: n.Axis, kind: n.Test.Kind, name: n.Test.Name,
+			val: n.ValEq, hasVal: n.ValEqSet}
 		if shared {
 			ctx.stepMu.Lock()
 		}
@@ -1181,11 +1190,7 @@ func (ctx *ExecContext) stepRange(n *Node, col *Column, lo, hi int, shared bool)
 			ctx.stepMu.Unlock()
 		}
 		if !ok {
-			for _, m := range axisNodes(node, n.Axis) {
-				if matchTest(m, n.Test, n.Axis) {
-					matches = append(matches, m)
-				}
-			}
+			matches = ctx.stepMatches(node, n)
 			if shared {
 				ctx.stepMu.Lock()
 			}

@@ -115,10 +115,17 @@ func describe(n *Node) string {
 		return fmt.Sprintf("rownum[%s:⟨%s⟩/%s]", n.Col,
 			strings.Join(n.SortCols, ","), strings.Join(n.GroupCols, ","))
 	case OpStep:
+		s := fmt.Sprintf("step[%s::%s", n.Axis, n.Test)
 		if n.SegShare {
-			return fmt.Sprintf("step[%s::%s seg]", n.Axis, n.Test)
+			s += " seg"
 		}
-		return fmt.Sprintf("step[%s::%s]", n.Axis, n.Test)
+		if n.IndexProbe {
+			s += " ix"
+		}
+		if n.ValEqSet {
+			s += fmt.Sprintf(" eq=%q", n.ValEq)
+		}
+		return s + "]"
 	case OpIDLookup:
 		return "id[" + n.ItemCol + "]"
 	case OpCtor:

@@ -8,6 +8,7 @@ package algebra
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/xdm"
 	"repro/internal/xq/ast"
@@ -155,6 +156,18 @@ type Node struct {
 	// gather entry per match. Set by the optimizer when the context column
 	// is known node-only; -O0 plans never carry it.
 	SegShare bool
+	// IndexProbe lets the step executor resolve the node test against the
+	// document's name index (posting-list merge over the context subtree
+	// window) instead of walking the arena. Set by the optimizer on
+	// concrete-name child/descendant/attribute steps; -O0 plans never
+	// carry it, and probed and walked results are byte-identical.
+	IndexProbe bool
+	// ValEq/ValEqSet push a value-equality σ into the step: only matches
+	// whose string value equals ValEq survive. Set by the optimizer when a
+	// semijoin pred compares the step's atomized column against a string
+	// constant (opt/indexrules.go has the soundness argument).
+	ValEq    string
+	ValEqSet bool
 	// OpCtor
 	Ctor     CtorKind
 	CtorName string // static name ("" means Kids[1] provides per-iter names)
@@ -178,7 +191,12 @@ type Node struct {
 	// treats them as transparent instead, which is equivalent.
 	Bookkeeping bool
 
-	schema []string
+	// schema memoizes Schema(). Atomic because compiled plans are shared —
+	// across parallel fixpoint workers and, via the plan cache, across
+	// concurrent evaluations — and any of them may first-touch a node's
+	// schema; racing computations produce identical column lists, so
+	// last-store-wins publication is sound.
+	schema atomic.Pointer[[]string]
 }
 
 // NewLit builds a literal table node.
@@ -188,47 +206,49 @@ func NewLit(cols []string, rows [][]xdm.Item) *Node {
 
 // Schema returns (computing on first use) the node's output column list.
 func (n *Node) Schema() []string {
-	if n.schema != nil {
-		return n.schema
+	if s := n.schema.Load(); s != nil {
+		return *s
 	}
+	var schema []string
 	switch n.Op {
 	case OpLit:
-		n.schema = n.LitCols
+		schema = n.LitCols
 	case OpDoc:
-		n.schema = []string{"item"}
+		schema = []string{"item"}
 	case OpRecBase, OpRecDelta:
-		n.schema = []string{"iter", "pos", "item"}
+		schema = []string{"iter", "pos", "item"}
 	case OpProject:
 		cols := make([]string, len(n.Proj))
 		for i, p := range n.Proj {
 			cols[i] = p.Out
 		}
-		n.schema = cols
+		schema = cols
 	case OpAttach:
-		n.schema = append(append([]string{}, n.Kids[0].Schema()...), n.Col)
+		schema = append(append([]string{}, n.Kids[0].Schema()...), n.Col)
 	case OpSelect, OpDistinct, OpSemiJoin, OpAntiJoin:
-		n.schema = n.Kids[0].Schema()
+		schema = n.Kids[0].Schema()
 	case OpJoin, OpCross:
-		n.schema = append(append([]string{}, n.Kids[0].Schema()...), n.Kids[1].Schema()...)
+		schema = append(append([]string{}, n.Kids[0].Schema()...), n.Kids[1].Schema()...)
 	case OpUnion, OpDiff:
-		n.schema = n.Kids[0].Schema()
+		schema = n.Kids[0].Schema()
 	case OpGroupCount:
-		n.schema = append(append([]string{}, n.GroupCols...), n.Col)
+		schema = append(append([]string{}, n.GroupCols...), n.Col)
 	case OpNumOp:
-		n.schema = append(append([]string{}, n.Kids[0].Schema()...), n.Col)
+		schema = append(append([]string{}, n.Kids[0].Schema()...), n.Col)
 	case OpRowTag, OpRowNum:
-		n.schema = append(append([]string{}, n.Kids[0].Schema()...), n.Col)
+		schema = append(append([]string{}, n.Kids[0].Schema()...), n.Col)
 	case OpStep, OpIDLookup:
 		// The step join replaces ItemCol with the step results.
-		n.schema = n.Kids[0].Schema()
+		schema = n.Kids[0].Schema()
 	case OpCtor:
-		n.schema = []string{"iter", "pos", "item"}
+		schema = []string{"iter", "pos", "item"}
 	case OpMu:
-		n.schema = []string{"iter", "pos", "item"}
+		schema = []string{"iter", "pos", "item"}
 	default:
 		panic(fmt.Sprintf("algebra: schema of unknown op %v", n.Op))
 	}
-	return n.schema
+	n.schema.Store(&schema)
+	return schema
 }
 
 // HasCol reports whether the schema contains the column.

@@ -133,6 +133,14 @@ func (r *rewriter) stepRules(old, n *algebra.Node) *algebra.Node {
 		m.SegShare = true
 		n = m
 	}
+	// (c) Index probe: a concrete-name child/descendant/attribute step may
+	// resolve against the document's name index (indexrules.go). Like (b),
+	// the flag never changes the match set, only how it is computed.
+	if !r.noIndex && !n.IndexProbe && indexEligible(n) {
+		m := copyWithKids(n, n.Kids)
+		m.IndexProbe = true
+		n = m
+	}
 	return n
 }
 

@@ -19,7 +19,15 @@ const maxPasses = 12
 // subtrees), µ sites are re-pointed at their rewritten operators, and the
 // loop-dependence property of the final DAG is published for the executor.
 // Plan.Raw keeps the verbatim compiler output for explain diagnostics.
-func Optimize(p *algebra.Plan) {
+func Optimize(p *algebra.Plan) { optimize(p, false) }
+
+// OptimizeNoIndex runs the same rule engine with the index-scan rewrites
+// (step IndexProbe marking, value-equality σ pushdown) disabled — the
+// plans this PR's `make index-check` and `ifpbench -index-sweep` use as
+// the pure arena-scan baseline.
+func OptimizeNoIndex(p *algebra.Plan) { optimize(p, true) }
+
+func optimize(p *algebra.Plan, noIndex bool) {
 	if p == nil || p.Root == nil {
 		return
 	}
@@ -27,6 +35,7 @@ func Optimize(p *algebra.Plan) {
 	strict := strictSites(p)
 	for i := 0; i < maxPasses; i++ {
 		r := newRewriter(root, deltaEligible(root, strict))
+		r.noIndex = noIndex
 		next := r.rewrite(root)
 		if !r.changed {
 			break

@@ -102,7 +102,8 @@ func writeFields(h io.Writer, n *algebra.Node) {
 		fmt.Fprintf(&sb, "|%s/%s/%s", n.Col,
 			strings.Join(n.SortCols, ","), strings.Join(n.GroupCols, ","))
 	case algebra.OpStep:
-		fmt.Fprintf(&sb, "|%d::%d:%s:%s:%v", n.Axis, n.Test.Kind, n.Test.Name, n.ItemCol, n.SegShare)
+		fmt.Fprintf(&sb, "|%d::%d:%s:%s:%v:%v:%v:%s", n.Axis, n.Test.Kind, n.Test.Name, n.ItemCol,
+			n.SegShare, n.IndexProbe, n.ValEqSet, n.ValEq)
 	case algebra.OpIDLookup:
 		sb.WriteString("|" + n.ItemCol + "/" + n.Col)
 	case algebra.OpCtor:

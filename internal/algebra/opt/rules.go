@@ -188,7 +188,10 @@ type rewriter struct {
 	// delta feed (deltarules.go); recDeltas interns the one ∆ leaf per base.
 	delta     map[*algebra.Node]bool
 	recDeltas map[*algebra.Node]*algebra.Node
-	changed   bool
+	// noIndex disables the index-scan rewrites (IndexProbe marking and
+	// value-equality σ pushdown), producing the arena-scan baseline plans.
+	noIndex bool
+	changed bool
 }
 
 func newRewriter(root *algebra.Node, delta map[*algebra.Node]bool) *rewriter {
@@ -305,6 +308,11 @@ func (r *rewriter) rules(old, n *algebra.Node) *algebra.Node {
 		return r.selectRules(old, n)
 	case algebra.OpJoin:
 		return r.joinRules(old, n)
+	case algebra.OpSemiJoin:
+		if r.noIndex {
+			return n
+		}
+		return r.semiJoinRules(old, n)
 	case algebra.OpUnion:
 		return alignUnion(n)
 	case algebra.OpStep, algebra.OpIDLookup:
@@ -460,6 +468,7 @@ func copyWithKids(n *algebra.Node, kids []*algebra.Node) *algebra.Node {
 		GroupCols: n.GroupCols, SortCols: n.SortCols,
 		Num: n.Num, NumArgs: n.NumArgs,
 		Axis: n.Axis, Test: n.Test, ItemCol: n.ItemCol, SegShare: n.SegShare,
+		IndexProbe: n.IndexProbe, ValEq: n.ValEq, ValEqSet: n.ValEqSet,
 		Ctor: n.Ctor, CtorName: n.CtorName,
 		Delta: n.Delta, RecBase: n.RecBase, Desc: n.Desc,
 		Template: n.Template, Bookkeeping: n.Bookkeeping,

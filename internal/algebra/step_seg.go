@@ -29,6 +29,10 @@ type segKey struct {
 	axis ast.Axis
 	kind ast.TestKind
 	name string
+	// Pushed-down value-equality filter (Node.ValEq); steps differing only
+	// in the filter must not share segments.
+	val    string
+	hasVal bool
 }
 
 // evalStepSeg is the SegShare execution of an OpStep over the packed context
@@ -91,7 +95,8 @@ func (ctx *ExecContext) stepSegRange(n *Node, col *Column, lo, hi int, shared bo
 	var words []uint64
 	r := col.reader()
 	for i := lo; i < hi; i++ {
-		key := segKey{word: col.packed[i], axis: n.Axis, kind: n.Test.Kind, name: n.Test.Name}
+		key := segKey{word: col.packed[i], axis: n.Axis, kind: n.Test.Kind, name: n.Test.Name,
+			val: n.ValEq, hasVal: n.ValEqSet}
 		if shared {
 			ctx.stepMu.Lock()
 		}
@@ -101,10 +106,8 @@ func (ctx *ExecContext) stepSegRange(n *Node, col *Column, lo, hi int, shared bo
 		}
 		if !ok {
 			node := r.node(i)
-			for _, m := range axisNodes(node, n.Axis) {
-				if matchTest(m, n.Test, n.Axis) {
-					seg = append(seg, nodeKey64(m))
-				}
+			for _, m := range ctx.stepMatches(node, n) {
+				seg = append(seg, nodeKey64(m))
 			}
 			if shared {
 				ctx.stepMu.Lock()

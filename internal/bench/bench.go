@@ -147,6 +147,9 @@ type Runner struct {
 	// Opt0 runs the relational engine on the compiler's verbatim plan
 	// (-O0); the default is the optimized plan, matching production.
 	Opt0 bool
+	// NoIndex disables the relational step executor's name-index probe
+	// path (the -index-sweep scan arm); results are byte-identical.
+	NoIndex bool
 }
 
 // docResolverFor parses the experiment's document once and serves it for
@@ -229,7 +232,7 @@ func (r *Runner) runInterp(m *ast.Module, alg core.Algorithm, docs func(string) 
 	tr := obs.NewTrace("bench")
 	en := interp.New(m, interp.Options{
 		Mode: mode, Docs: docs, MaxIterations: r.MaxIterations, Parallelism: r.Parallelism,
-		Trace: tr,
+		NoIndex: r.NoIndex, Trace: tr,
 	})
 	start := time.Now()
 	res, err := en.Eval()
@@ -259,11 +262,16 @@ func (r *Runner) runRelational(m *ast.Module, alg core.Algorithm, docs func(stri
 	var optimize func(*algebra.Plan)
 	if !r.Opt0 {
 		optimize = opt.Optimize
+		if r.NoIndex {
+			// The arena-scan baseline the index sweep measures against:
+			// the feature off at the plan level too, not just exec time.
+			optimize = opt.OptimizeNoIndex
+		}
 	}
 	tr := obs.NewTrace("bench")
 	en, err := algebra.NewEngine(m, algebra.Options{
 		Mode: mode, Docs: docs, MaxIterations: r.MaxIterations, Parallelism: r.Parallelism,
-		Optimize: optimize, Trace: tr,
+		NoIndex: r.NoIndex, Optimize: optimize, Trace: tr,
 	})
 	if err != nil {
 		return Measurement{}, err

@@ -401,6 +401,10 @@ type DocInfo struct {
 	URI   string       `json:"uri"`
 	Pins  int          `json:"pins"`
 	Stats xdm.DocStats `json:"stats"`
+	// Index reports the document's name/path index state: persistent for
+	// v2 snapshots (decoded zero-copy at open), lazily built in memory for
+	// XML-parsed documents and v1 snapshots, absent until something probes.
+	Index xdm.IndexInfo `json:"index"`
 }
 
 // Docs lists resident documents in most-recently-used order.
@@ -409,7 +413,7 @@ func (c *Cache) Docs() []DocInfo {
 	defer c.mu.Unlock()
 	out := make([]DocInfo, 0, len(c.entries))
 	for e := c.head.next; e != &c.head; e = e.next {
-		out = append(out, DocInfo{URI: e.uri, Pins: e.pins, Stats: e.doc.Stats()})
+		out = append(out, DocInfo{URI: e.uri, Pins: e.pins, Stats: e.doc.Stats(), Index: e.doc.IndexInfo()})
 	}
 	return out
 }

@@ -58,7 +58,7 @@ func LoadMmap(path string) (*xdm.Document, error) {
 	if err != nil {
 		return nil, err
 	}
-	if st.Size() < headerLen+trailerLen {
+	if st.Size() < headerLenV1+trailerLen {
 		return nil, fmt.Errorf("store: %s: snapshot truncated (%d bytes)", path, st.Size())
 	}
 	key := mapKey{path: abs, size: st.Size(), mtime: st.ModTime().UnixNano()}

@@ -5,14 +5,16 @@
 // pinning, and a directory-backed Store that resolves fn:doc URIs
 // snapshot-first with XML parsing as the fallback.
 //
-// Snapshot format (version 1, file extension ".xqs")
+// Snapshot format (version 2, file extension ".xqs")
 //
 //	offset 0   magic   "XQSNAP\x00" (7 bytes) + version byte
-//	offset 8   header  8 little-endian uint64s:
+//	offset 8   header  little-endian uint64s — 8 fields in version 1,
+//	           12 in version 2:
 //	           nodeCount, nameCount, nameBlobLen, valueBlobLen,
 //	           idCount, idBlobLen, uriLen, payloadLen
-//	offset 72  payload sections, each starting at an 8-byte-aligned
-//	           offset (zero padding between sections):
+//	           [v2:] postCount, postBlobLen, pathCount, reserved (0)
+//	payload    sections, each starting at an 8-byte-aligned offset
+//	           (zero padding between sections):
 //	             uri        [uriLen]byte
 //	             kinds      [nodeCount]uint8
 //	             parents    [nodeCount]int32
@@ -27,6 +29,20 @@
 //	             idPres     [idCount]int32      ID index, sorted by ID value
 //	             idEnds     [idCount]uint32     cumulative end offsets
 //	             idBlob     [idBlobLen]byte     ID value bytes
+//	           version 2 appends the name-index sections:
+//	             postKeys   [postCount]uint64   nameID<<32 | kind<<8 | enc,
+//	                                            sorted (kind, name); enc 0 is
+//	                                            flat int32, enc 1 delta-uvarint
+//	             postEnds   [postCount]uint64   cumulative end offsets into
+//	                                            postBlob; each list starts at
+//	                                            the next 4-aligned offset
+//	             postBlob   [postBlobLen]byte   posting list bytes
+//	             pathNames  [pathCount]uint32   path-summary trie, preorder:
+//	             pathKinds  [pathCount]uint8    node kind per path
+//	             pathParents[pathCount]int32    parent path (-1 at the root)
+//	             pathCounts [pathCount]int32    arena nodes on this path
+//	             pathMins   [pathCount]int32    min preorder rank on the path
+//	             pathMaxs   [pathCount]int32    max preorder rank on the path
 //	trailer    CRC-32C (Castagnoli) of header + payload, stored in the
 //	           low half of an 8-byte little-endian word (alignment-
 //	           preserving; hardware-accelerated on amd64/arm64)
@@ -36,7 +52,12 @@
 // (the 8-byte section alignment plus the page-aligned mapping make the
 // casts legal) and every name/value string is an unsafe zero-copy view
 // into the mapped blob — opening a snapshot allocates the node-record
-// array and the ID map, but never copies string data.
+// array and the ID map, but never copies string data. Flat posting lists
+// are consumed in place the same way (4-aligned within an 8-aligned
+// section); delta-encoded lists decode at open. Version 1 files still
+// open — their index is built lazily from the arena on first use
+// (xdm.Document.Index) — and the CRC covers the v2 index sections, so a
+// corrupted index is rejected with the rest of the file.
 package store
 
 import (
@@ -52,17 +73,27 @@ import (
 	"repro/internal/xdm"
 )
 
-// Version is the current snapshot format version.
-const Version = 1
+// Version is the current snapshot format version. Version 1 files (no
+// index sections) still open.
+const Version = 2
 
 // Ext is the conventional snapshot file extension.
 const Ext = ".xqs"
 
 const (
-	magic      = "XQSNAP\x00"
-	headerLen  = 8 + 8*8 // magic+version, then 8 uint64 fields
-	trailerLen = 8
+	magic       = "XQSNAP\x00"
+	headerLenV1 = 8 + 8*8  // magic+version, then 8 uint64 fields
+	headerLenV2 = 8 + 8*12 // v1 fields + postCount, postBlobLen, pathCount, reserved
+	trailerLen  = 8
 )
+
+// headerLenFor returns the header length of a format version.
+func headerLenFor(version byte) uint64 {
+	if version >= 2 {
+		return headerLenV2
+	}
+	return headerLenV1
+}
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -75,13 +106,28 @@ type header struct {
 	idBlobLen    uint64
 	uriLen       uint64
 	payloadLen   uint64
+	// Version 2 index sections; all zero in version 1 files (the index
+	// section offsets then collapse to the payload end).
+	postCount   uint64
+	postBlobLen uint64
+	pathCount   uint64
 }
 
 func align8(x uint64) uint64 { return (x + 7) &^ 7 }
+func align4(x uint64) uint64 { return (x + 3) &^ 3 }
 
-// sectionOffsets computes the payload-relative start offset of every
-// section from the header, mirroring the writer's layout exactly.
-func (h *header) sectionOffsets() (uri, kinds, parents, sizes, levels, nameIDs, nameEnds, nameBlob, valueEnds, valueBlob, idPres, idEnds, idBlob, end uint64) {
+// sections holds the payload-relative start offset of every section,
+// mirroring the writer's layout exactly.
+type sections struct {
+	uri, kinds, parents, sizes, levels, nameIDs, nameEnds, nameBlob uint64
+	valueEnds, valueBlob, idPres, idEnds, idBlob                    uint64
+	postKeys, postEnds, postBlob                                    uint64
+	pathNames, pathKinds, pathParents                               uint64
+	pathCounts, pathMins, pathMaxs                                  uint64
+	end                                                             uint64
+}
+
+func (h *header) sectionOffsets() sections {
 	n := h.nodeCount
 	off := uint64(0)
 	next := func(size uint64) uint64 {
@@ -89,25 +135,42 @@ func (h *header) sectionOffsets() (uri, kinds, parents, sizes, levels, nameIDs, 
 		off = align8(start + size)
 		return start
 	}
-	uri = next(h.uriLen)
-	kinds = next(n)
-	parents = next(4 * n)
-	sizes = next(4 * n)
-	levels = next(4 * n)
-	nameIDs = next(4 * n)
-	nameEnds = next(4 * h.nameCount)
-	nameBlob = next(h.nameBlobLen)
-	valueEnds = next(8 * n)
-	valueBlob = next(h.valueBlobLen)
-	idPres = next(4 * h.idCount)
-	idEnds = next(4 * h.idCount)
-	idBlob = next(h.idBlobLen)
-	end = off
-	return
+	var s sections
+	s.uri = next(h.uriLen)
+	s.kinds = next(n)
+	s.parents = next(4 * n)
+	s.sizes = next(4 * n)
+	s.levels = next(4 * n)
+	s.nameIDs = next(4 * n)
+	s.nameEnds = next(4 * h.nameCount)
+	s.nameBlob = next(h.nameBlobLen)
+	s.valueEnds = next(8 * n)
+	s.valueBlob = next(h.valueBlobLen)
+	s.idPres = next(4 * h.idCount)
+	s.idEnds = next(4 * h.idCount)
+	s.idBlob = next(h.idBlobLen)
+	s.postKeys = next(8 * h.postCount)
+	s.postEnds = next(8 * h.postCount)
+	s.postBlob = next(h.postBlobLen)
+	s.pathNames = next(4 * h.pathCount)
+	s.pathKinds = next(h.pathCount)
+	s.pathParents = next(4 * h.pathCount)
+	s.pathCounts = next(4 * h.pathCount)
+	s.pathMins = next(4 * h.pathCount)
+	s.pathMaxs = next(4 * h.pathCount)
+	s.end = off
+	return s
 }
 
-// WriteSnapshot serializes the document to w in snapshot format.
+// WriteSnapshot serializes the document to w in the current snapshot
+// format (version 2, with name-index and path-summary sections).
 func WriteSnapshot(w io.Writer, d *xdm.Document) error {
+	return writeSnapshot(w, d, Version)
+}
+
+// writeSnapshot serializes in the requested format version; version 1
+// omits the index sections (kept so compat tests can produce v1 files).
+func writeSnapshot(w io.Writer, d *xdm.Document, version byte) error {
 	n := d.Len()
 
 	// Columnarize the arena: intern names, concatenate values.
@@ -160,6 +223,51 @@ func WriteSnapshot(w io.Writer, d *xdm.Document) error {
 		binary.LittleEndian.PutUint32(idEnds[4*i:], uint32(len(idBlob)))
 	}
 
+	// Version 2: serialize the document's name/path index. The index comes
+	// from the same lazy builder queries use (xdm.Document.Index), so the
+	// persistent and in-memory forms agree by construction. Posting lists
+	// are keyed by interned name id; every indexed name is a node name, so
+	// the lookup below cannot miss.
+	var postKeys, postEnds, postBlob []byte
+	var pathNames, pathKinds, pathParents, pathCounts, pathMins, pathMaxs []byte
+	var postCount, pathCount int
+	if version >= 2 {
+		ix := d.Index()
+		keys := ix.Keys()
+		postCount = len(keys)
+		postKeys = make([]byte, 8*postCount)
+		postEnds = make([]byte, 8*postCount)
+		for i, key := range keys {
+			list := ix.List(i)
+			// Each list starts 4-aligned so flat encodings are zero-copy
+			// typed slices when the file is mmap'd.
+			for pad := align4(uint64(len(postBlob))) - uint64(len(postBlob)); pad > 0; pad-- {
+				postBlob = append(postBlob, 0)
+			}
+			enc, encoded := encodePostings(list)
+			postBlob = append(postBlob, encoded...)
+			binary.LittleEndian.PutUint64(postEnds[8*i:], uint64(len(postBlob)))
+			word := uint64(nameTable[key.Name])<<32 | uint64(key.Kind)<<8 | uint64(enc)
+			binary.LittleEndian.PutUint64(postKeys[8*i:], word)
+		}
+		paths := ix.Paths()
+		pathCount = len(paths)
+		pathNames = make([]byte, 4*pathCount)
+		pathKinds = make([]byte, pathCount)
+		pathParents = make([]byte, 4*pathCount)
+		pathCounts = make([]byte, 4*pathCount)
+		pathMins = make([]byte, 4*pathCount)
+		pathMaxs = make([]byte, 4*pathCount)
+		for i, p := range paths {
+			binary.LittleEndian.PutUint32(pathNames[4*i:], nameTable[p.Name])
+			pathKinds[i] = byte(p.Kind)
+			binary.LittleEndian.PutUint32(pathParents[4*i:], uint32(p.Parent))
+			binary.LittleEndian.PutUint32(pathCounts[4*i:], uint32(p.Count))
+			binary.LittleEndian.PutUint32(pathMins[4*i:], uint32(p.MinPre))
+			binary.LittleEndian.PutUint32(pathMaxs[4*i:], uint32(p.MaxPre))
+		}
+	}
+
 	h := header{
 		nodeCount:    uint64(n),
 		nameCount:    uint64(len(nameList)),
@@ -168,15 +276,21 @@ func WriteSnapshot(w io.Writer, d *xdm.Document) error {
 		idCount:      uint64(len(ids)),
 		idBlobLen:    uint64(len(idBlob)),
 		uriLen:       uint64(len(d.URI)),
+		postCount:    uint64(postCount),
+		postBlobLen:  uint64(len(postBlob)),
+		pathCount:    uint64(pathCount),
 	}
-	_, _, _, _, _, _, _, _, _, _, _, _, _, end := h.sectionOffsets()
-	h.payloadLen = end
+	h.payloadLen = h.sectionOffsets().end
 
-	hdr := make([]byte, headerLen)
+	hdrFields := []uint64{h.nodeCount, h.nameCount, h.nameBlobLen, h.valueBlobLen,
+		h.idCount, h.idBlobLen, h.uriLen, h.payloadLen}
+	if version >= 2 {
+		hdrFields = append(hdrFields, h.postCount, h.postBlobLen, h.pathCount, 0)
+	}
+	hdr := make([]byte, headerLenFor(version))
 	copy(hdr, magic)
-	hdr[7] = Version
-	for i, v := range []uint64{h.nodeCount, h.nameCount, h.nameBlobLen, h.valueBlobLen,
-		h.idCount, h.idBlobLen, h.uriLen, h.payloadLen} {
+	hdr[7] = version
+	for i, v := range hdrFields {
 		binary.LittleEndian.PutUint64(hdr[8+8*i:], v)
 	}
 	if _, err := w.Write(hdr); err != nil {
@@ -189,10 +303,15 @@ func WriteSnapshot(w io.Writer, d *xdm.Document) error {
 	crc := crc32.New(crcTable)
 	crc.Write(hdr)
 	pw := &paddedWriter{w: io.MultiWriter(w, crc)}
-	for _, section := range [][]byte{
+	body := [][]byte{
 		[]byte(d.URI), kinds, parents, sizes, levels, nameIDs,
 		nameEnds, nameBlob, valueEnds, valueBlob, idPres, idEnds, idBlob,
-	} {
+	}
+	if version >= 2 {
+		body = append(body, postKeys, postEnds, postBlob,
+			pathNames, pathKinds, pathParents, pathCounts, pathMins, pathMaxs)
+	}
+	for _, section := range body {
 		if err := pw.writeSection(section); err != nil {
 			return err
 		}
@@ -204,6 +323,51 @@ func WriteSnapshot(w io.Writer, d *xdm.Document) error {
 	binary.LittleEndian.PutUint64(trailer[:], uint64(crc.Sum32()))
 	_, err := w.Write(trailer[:])
 	return err
+}
+
+// Posting-list encodings (low byte of the postKeys word).
+const (
+	encFlat  = 0 // little-endian int32 vector, zero-copy on mmap
+	encDelta = 1 // uvarint first value, then uvarint gaps
+)
+
+// encodePostings picks the smaller of the two encodings for an ascending
+// preorder list: delta-uvarint when it strictly beats the flat 4-byte
+// vector (dense lists have gap 1 and shrink ~4×), flat otherwise (flat
+// stays zero-copy at open).
+func encodePostings(list []int32) (enc byte, encoded []byte) {
+	var buf [binary.MaxVarintLen64]byte
+	delta := make([]byte, 0, 4*len(list))
+	prev := int32(0)
+	for _, v := range list {
+		delta = append(delta, buf[:binary.PutUvarint(buf[:], uint64(v-prev))]...)
+		prev = v
+	}
+	if len(delta) < 4*len(list) {
+		return encDelta, delta
+	}
+	flat := make([]byte, 4*len(list))
+	for i, v := range list {
+		binary.LittleEndian.PutUint32(flat[4*i:], uint32(v))
+	}
+	return encFlat, flat
+}
+
+// decodeDeltaPostings expands a delta-uvarint list; the count is not
+// stored (the byte range is), so it decodes until the bytes run out.
+func decodeDeltaPostings(b []byte) ([]int32, error) {
+	var out []int32
+	prev := int64(0)
+	for len(b) > 0 {
+		gap, n := binary.Uvarint(b)
+		if n <= 0 {
+			return nil, fmt.Errorf("truncated varint")
+		}
+		b = b[n:]
+		prev += int64(gap)
+		out = append(out, int32(prev))
+	}
+	return out, nil
 }
 
 // paddedWriter writes sections followed by zero padding to the next
@@ -264,7 +428,7 @@ func Load(path string) (*xdm.Document, error) {
 	if err != nil {
 		return nil, err
 	}
-	if st.Size() < headerLen+trailerLen {
+	if st.Size() < headerLenV1+trailerLen {
 		return nil, fmt.Errorf("store: %s: snapshot truncated (%d bytes)", path, st.Size())
 	}
 	// Allocate via []uint64 so the buffer base is 8-byte aligned and the
@@ -281,50 +445,60 @@ func Load(path string) (*xdm.Document, error) {
 	return d, nil
 }
 
-// Decode decodes a snapshot image. The returned document's strings are
-// zero-copy views into data; the caller must not mutate it afterwards.
+// Decode decodes a snapshot image (version 1 or 2). The returned
+// document's strings are zero-copy views into data; the caller must not
+// mutate it afterwards. Version 2 images carry their name/path index,
+// attached to the document before it is published; version 1 documents
+// build theirs lazily on first use.
 func Decode(data []byte) (*xdm.Document, error) {
-	if len(data) < headerLen+trailerLen {
+	if len(data) < headerLenV1+trailerLen {
 		return nil, fmt.Errorf("snapshot truncated (%d bytes)", len(data))
 	}
 	if string(data[:7]) != magic {
 		return nil, fmt.Errorf("not a snapshot (bad magic)")
 	}
-	if data[7] != Version {
-		return nil, fmt.Errorf("snapshot version %d, want %d", data[7], Version)
+	version := data[7]
+	if version != 1 && version != Version {
+		return nil, fmt.Errorf("snapshot version %d, want 1..%d", version, Version)
+	}
+	hdrLen := headerLenFor(version)
+	if uint64(len(data)) < hdrLen+trailerLen {
+		return nil, fmt.Errorf("snapshot truncated (%d bytes)", len(data))
 	}
 	var h header
 	fields := []*uint64{&h.nodeCount, &h.nameCount, &h.nameBlobLen, &h.valueBlobLen,
 		&h.idCount, &h.idBlobLen, &h.uriLen, &h.payloadLen}
+	if version >= 2 {
+		fields = append(fields, &h.postCount, &h.postBlobLen, &h.pathCount)
+	}
 	for i, p := range fields {
 		*p = binary.LittleEndian.Uint64(data[8+8*i:])
 	}
 	if h.payloadLen > uint64(len(data)) ||
-		uint64(len(data)) != headerLen+h.payloadLen+trailerLen {
+		uint64(len(data)) != hdrLen+h.payloadLen+trailerLen {
 		return nil, fmt.Errorf("snapshot size %d does not match header payload length %d", len(data), h.payloadLen)
 	}
-	payload := data[headerLen : headerLen+h.payloadLen]
-	want := binary.LittleEndian.Uint64(data[headerLen+h.payloadLen:])
-	if got := uint64(crc32.Checksum(data[:headerLen+h.payloadLen], crcTable)); got != want {
+	payload := data[hdrLen : hdrLen+h.payloadLen]
+	want := binary.LittleEndian.Uint64(data[hdrLen+h.payloadLen:])
+	if got := uint64(crc32.Checksum(data[:hdrLen+h.payloadLen], crcTable)); got != want {
 		return nil, fmt.Errorf("snapshot checksum mismatch (corrupted file): got %08x want %08x", got, want)
 	}
 
-	uriOff, kindsOff, parentsOff, sizesOff, levelsOff, nameIDsOff, nameEndsOff,
-		nameBlobOff, valueEndsOff, valueBlobOff, idPresOff, idEndsOff, idBlobOff, end := h.sectionOffsets()
-	if end != h.payloadLen {
-		return nil, fmt.Errorf("snapshot sections (%d bytes) exceed payload (%d bytes)", end, h.payloadLen)
+	s := h.sectionOffsets()
+	if s.end != h.payloadLen {
+		return nil, fmt.Errorf("snapshot sections (%d bytes) exceed payload (%d bytes)", s.end, h.payloadLen)
 	}
 	n := int(h.nodeCount)
-	uri := string(payload[uriOff : uriOff+h.uriLen])
-	kinds := payload[kindsOff : kindsOff+h.nodeCount]
-	parents := int32sAt(payload, parentsOff, n)
-	sizes := int32sAt(payload, sizesOff, n)
-	levels := int32sAt(payload, levelsOff, n)
-	nameIDs := uint32sAt(payload, nameIDsOff, n)
-	nameEnds := uint32sAt(payload, nameEndsOff, int(h.nameCount))
-	nameBlob := payload[nameBlobOff : nameBlobOff+h.nameBlobLen]
-	valueEnds := uint64sAt(payload, valueEndsOff, n)
-	valueBlob := payload[valueBlobOff : valueBlobOff+h.valueBlobLen]
+	uri := string(payload[s.uri : s.uri+h.uriLen])
+	kinds := payload[s.kinds : s.kinds+h.nodeCount]
+	parents := int32sAt(payload, s.parents, n)
+	sizes := int32sAt(payload, s.sizes, n)
+	levels := int32sAt(payload, s.levels, n)
+	nameIDs := uint32sAt(payload, s.nameIDs, n)
+	nameEnds := uint32sAt(payload, s.nameEnds, int(h.nameCount))
+	nameBlob := payload[s.nameBlob : s.nameBlob+h.nameBlobLen]
+	valueEnds := uint64sAt(payload, s.valueEnds, n)
+	valueBlob := payload[s.valueBlob : s.valueBlob+h.valueBlobLen]
 
 	// Materialize the (small) interned name table as zero-copy views.
 	names := make([]string, h.nameCount)
@@ -354,9 +528,9 @@ func Decode(data []byte) (*xdm.Document, error) {
 		prevEnd = vend
 	}
 
-	idPres := int32sAt(payload, idPresOff, int(h.idCount))
-	idEnds := uint32sAt(payload, idEndsOff, int(h.idCount))
-	idBlob := payload[idBlobOff : idBlobOff+h.idBlobLen]
+	idPres := int32sAt(payload, s.idPres, int(h.idCount))
+	idEnds := uint32sAt(payload, s.idEnds, int(h.idCount))
+	idBlob := payload[s.idBlob : s.idBlob+h.idBlobLen]
 	prev = 0
 	for i := 0; i < int(h.idCount); i++ {
 		end := idEnds[i]
@@ -366,7 +540,90 @@ func Decode(data []byte) (*xdm.Document, error) {
 		loader.RegisterID(viewString(idBlob[prev:end]), idPres[i])
 		prev = end
 	}
+
+	if version >= 2 {
+		ix, err := decodeIndex(&h, &s, payload, names)
+		if err != nil {
+			return nil, err
+		}
+		loader.AttachIndex(ix)
+	}
 	return loader.Done()
+}
+
+// decodeIndex reconstructs the xdm.Index from a v2 image's index sections.
+// Flat posting lists stay zero-copy views into the payload; delta lists
+// decode here. The CRC already vouches for the bytes, so validation is
+// limited to what keeps indexing panic-free (name ids, offsets, bounds).
+func decodeIndex(h *header, s *sections, payload []byte, names []string) (*xdm.Index, error) {
+	postKeys := uint64sAt(payload, s.postKeys, int(h.postCount))
+	postEnds := uint64sAt(payload, s.postEnds, int(h.postCount))
+	postBlob := payload[s.postBlob : s.postBlob+h.postBlobLen]
+	keys := make([]xdm.PostingKey, h.postCount)
+	lists := make([][]int32, h.postCount)
+	var off uint64
+	for i := range postKeys {
+		word := postKeys[i]
+		nameID := word >> 32
+		kind := xdm.NodeKind(word >> 8 & 0xff)
+		enc := byte(word)
+		if nameID >= h.nameCount {
+			return nil, fmt.Errorf("snapshot posting %d references unknown name id %d", i, nameID)
+		}
+		start := align4(off)
+		end := postEnds[i]
+		if end < start || end > h.postBlobLen {
+			return nil, fmt.Errorf("snapshot posting offsets corrupt at entry %d", i)
+		}
+		b := postBlob[start:end]
+		var list []int32
+		switch enc {
+		case encFlat:
+			if len(b)%4 != 0 {
+				return nil, fmt.Errorf("snapshot posting %d misaligned (%d bytes)", i, len(b))
+			}
+			list = int32sAt(postBlob, start, len(b)/4)
+		case encDelta:
+			var err error
+			if list, err = decodeDeltaPostings(b); err != nil {
+				return nil, fmt.Errorf("snapshot posting %d: %v", i, err)
+			}
+		default:
+			return nil, fmt.Errorf("snapshot posting %d has unknown encoding %d", i, enc)
+		}
+		if len(list) > 0 && (list[0] < 0 || uint64(list[len(list)-1]) >= h.nodeCount) {
+			return nil, fmt.Errorf("snapshot posting %d out of node range", i)
+		}
+		keys[i] = xdm.PostingKey{Name: names[nameID], Kind: kind}
+		lists[i] = list
+		off = end
+	}
+
+	pathNames := uint32sAt(payload, s.pathNames, int(h.pathCount))
+	pathKinds := payload[s.pathKinds : s.pathKinds+h.pathCount]
+	pathParents := int32sAt(payload, s.pathParents, int(h.pathCount))
+	pathCounts := int32sAt(payload, s.pathCounts, int(h.pathCount))
+	pathMins := int32sAt(payload, s.pathMins, int(h.pathCount))
+	pathMaxs := int32sAt(payload, s.pathMaxs, int(h.pathCount))
+	paths := make([]xdm.PathNode, h.pathCount)
+	for i := range paths {
+		if uint64(pathNames[i]) >= h.nameCount {
+			return nil, fmt.Errorf("snapshot path %d references unknown name id %d", i, pathNames[i])
+		}
+		if p := pathParents[i]; p >= int32(i) && p != -1 || p < -1 {
+			return nil, fmt.Errorf("snapshot path %d has invalid parent %d", i, p)
+		}
+		paths[i] = xdm.PathNode{
+			Name:   names[pathNames[i]],
+			Kind:   xdm.NodeKind(pathKinds[i]),
+			Parent: pathParents[i],
+			Count:  pathCounts[i],
+			MinPre: pathMins[i],
+			MaxPre: pathMaxs[i],
+		}
+	}
+	bytes := int64(s.end - s.postKeys)
+	return xdm.NewIndex(keys, lists, paths, bytes), nil
 }
 
 // viewString returns a zero-copy string over b ("" for empty slices).

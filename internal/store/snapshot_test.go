@@ -140,7 +140,7 @@ func TestSnapshotCorruption(t *testing.T) {
 		"magic":          flip(1),
 		"version":        flip(7),
 		"header-field":   flip(16),
-		"payload-early":  flip(headerLen + 8),
+		"payload-early":  flip(headerLenV2 + 8),
 		"payload-late":   flip(len(img) - trailerLen - 3),
 		"trailer":        flip(len(img) - 1),
 		"truncated":      img[:len(img)/2],

@@ -114,6 +114,13 @@ func (l *ArenaLoader) RegisterID(id string, pre int32) {
 	l.d.ids[id] = pre
 }
 
+// AttachIndex installs a snapshot-decoded name/path index on the document
+// under construction, so Index() never rebuilds what the file already
+// carries. Must be called before Done publishes the document.
+func (l *ArenaLoader) AttachIndex(ix *Index) {
+	l.d.attachIndex(ix)
+}
+
 // Done validates the arena and returns the document. Validation covers the
 // structural invariants the axes rely on (beyond any snapshot checksum):
 // node 0 is the document node spanning the whole arena, every other node's

@@ -82,6 +82,11 @@ type Document struct {
 	// persistent arena image (see arena.go).
 	statsOnce sync.Once
 	stats     DocStats
+
+	// idx is the name/path index: attached at load time from a v2
+	// snapshot, or built lazily from the arena on first Index() call
+	// (see index.go).
+	idx atomic.Pointer[Index]
 }
 
 // Len reports the number of nodes in the document, including the document
@@ -214,6 +219,46 @@ func (n NodeRef) Attributes() []NodeRef {
 		out = append(out, NodeRef{n.D, i})
 	}
 	return out
+}
+
+// EachChild calls fn for each child node (attributes excluded) in
+// document order, stopping early when fn returns false — Children
+// without materializing the slice.
+func (n NodeRef) EachChild(fn func(NodeRef) bool) {
+	d := n.data()
+	if d.kind != ElementNode && d.kind != DocumentNode {
+		return
+	}
+	end := n.Pre + d.size
+	for i := n.Pre + 1; i <= end; {
+		nd := &n.D.nodes[i]
+		if nd.kind == AttributeNode {
+			i++
+			continue
+		}
+		if !fn(NodeRef{n.D, i}) {
+			return
+		}
+		i += nd.size + 1
+	}
+}
+
+// EachAttribute calls fn for each attribute node of an element in
+// document order, stopping early when fn returns false.
+func (n NodeRef) EachAttribute(fn func(NodeRef) bool) {
+	d := n.data()
+	if d.kind != ElementNode {
+		return
+	}
+	end := n.Pre + d.size
+	for i := n.Pre + 1; i <= end; i++ {
+		if n.D.nodes[i].kind != AttributeNode || n.D.nodes[i].parent != n.Pre {
+			return
+		}
+		if !fn(NodeRef{n.D, i}) {
+			return
+		}
+	}
 }
 
 // Attribute returns the value of the named attribute; ok is false if absent.

@@ -59,6 +59,9 @@ type Options struct {
 	Parallelism int
 	// Context, when non-nil, cancels fixpoint computations between rounds.
 	Context context.Context
+	// NoIndex disables name-index probing of axis steps (the arena-walk
+	// baseline); results are byte-identical either way.
+	NoIndex bool
 	// Budget, when non-nil, bounds the evaluation: fixpoint drivers check
 	// the deadline and round budget between rounds and charge feeds and
 	// growth against the row budget (through internal/core), and the tree

@@ -57,39 +57,50 @@ func (ev *evaluator) evalAxisStep(n *ast.AxisStep, en *env, ctx dynCtx) (xdm.Seq
 		return nil, xdm.NewError(xdm.ErrType, "axis step applied to atomic value")
 	}
 	node := ctx.item.Node()
-	var axisNodes []xdm.NodeRef
-	switch n.Axis {
-	case ast.AxisChild:
-		axisNodes = node.Children()
-	case ast.AxisDescendant:
-		axisNodes = node.Descendants(false)
-	case ast.AxisDescendantOrSelf:
-		axisNodes = node.Descendants(true)
-	case ast.AxisAttribute:
-		axisNodes = node.Attributes()
-	case ast.AxisSelf:
-		axisNodes = []xdm.NodeRef{node}
-	case ast.AxisParent:
-		if p, ok := node.Parent(); ok {
-			axisNodes = []xdm.NodeRef{p}
-		}
-	case ast.AxisAncestor:
-		axisNodes = node.Ancestors(false)
-	case ast.AxisAncestorOrSelf:
-		axisNodes = node.Ancestors(true)
-	case ast.AxisFollowingSibling:
-		axisNodes = node.FollowingSiblings()
-	case ast.AxisPrecedingSibling:
-		axisNodes = node.PrecedingSiblings()
-	case ast.AxisFollowing:
-		axisNodes = node.Following()
-	case ast.AxisPreceding:
-		axisNodes = node.Preceding()
-	}
 	var selected xdm.Sequence
-	for _, m := range axisNodes {
-		if matchNodeTest(m, n.Test, n.Axis) {
-			selected = append(selected, xdm.NewNode(m))
+	probed := false
+	if !ev.engine.opts.NoIndex && stepIndexEligible(n.Axis, n.Test) {
+		if sel, ok := indexAxisNodes(node, n.Axis, n.Test); ok {
+			xdm.CountIndexProbe()
+			selected, probed = sel, true
+		} else {
+			xdm.CountIndexFallback()
+		}
+	}
+	if !probed {
+		var axisNodes []xdm.NodeRef
+		switch n.Axis {
+		case ast.AxisChild:
+			axisNodes = node.Children()
+		case ast.AxisDescendant:
+			axisNodes = node.Descendants(false)
+		case ast.AxisDescendantOrSelf:
+			axisNodes = node.Descendants(true)
+		case ast.AxisAttribute:
+			axisNodes = node.Attributes()
+		case ast.AxisSelf:
+			axisNodes = []xdm.NodeRef{node}
+		case ast.AxisParent:
+			if p, ok := node.Parent(); ok {
+				axisNodes = []xdm.NodeRef{p}
+			}
+		case ast.AxisAncestor:
+			axisNodes = node.Ancestors(false)
+		case ast.AxisAncestorOrSelf:
+			axisNodes = node.Ancestors(true)
+		case ast.AxisFollowingSibling:
+			axisNodes = node.FollowingSiblings()
+		case ast.AxisPrecedingSibling:
+			axisNodes = node.PrecedingSiblings()
+		case ast.AxisFollowing:
+			axisNodes = node.Following()
+		case ast.AxisPreceding:
+			axisNodes = node.Preceding()
+		}
+		for _, m := range axisNodes {
+			if matchNodeTest(m, n.Test, n.Axis) {
+				selected = append(selected, xdm.NewNode(m))
+			}
 		}
 	}
 	filtered, err := ev.applyPreds(selected, n.Preds, en)
@@ -147,21 +158,32 @@ func (ev *evaluator) applyPreds(items xdm.Sequence, preds []ast.Expr, en *env) (
 			}
 			continue
 		}
+		hp, err := ev.hoistCmp(p, en, len(items))
+		if err != nil {
+			return nil, err
+		}
 		var kept xdm.Sequence
 		size := int64(len(items))
 		for i, it := range items {
 			pctx := dynCtx{item: it, ok: true, pos: int64(i + 1), size: size}
-			v, err := ev.eval(p, en, pctx)
-			if err != nil {
-				return nil, err
-			}
-			keep := false
-			if len(v) == 1 && v[0].IsNumeric() {
-				keep = v[0].NumberValue() == float64(i+1)
-			} else {
-				keep, err = xdm.EBV(v)
+			var keep bool
+			if hp != nil {
+				keep, err = ev.evalCmpPred(hp, en, pctx)
 				if err != nil {
 					return nil, err
+				}
+			} else {
+				v, err := ev.eval(p, en, pctx)
+				if err != nil {
+					return nil, err
+				}
+				if len(v) == 1 && v[0].IsNumeric() {
+					keep = v[0].NumberValue() == float64(i+1)
+				} else {
+					keep, err = xdm.EBV(v)
+					if err != nil {
+						return nil, err
+					}
 				}
 			}
 			if keep {

@@ -597,8 +597,7 @@ func (p *parser) parsePath() ast.Expr {
 	}
 	if p.tok.isSym("//") {
 		p.advance()
-		dos := &ast.Slash{L: &ast.RootExpr{}, R: &ast.AxisStep{Axis: ast.AxisDescendantOrSelf, Test: ast.NodeTest{Kind: ast.TestAnyKind}}}
-		return p.parseRelativePath(dos)
+		return p.parseRelativePathFrom(descendantPath(&ast.RootExpr{}, p.parseStepExpr()))
 	}
 	first := p.parseStepExpr()
 	return p.parseRelativePathFrom(first)
@@ -616,12 +615,76 @@ func (p *parser) parseRelativePathFrom(e ast.Expr) ast.Expr {
 			e = &ast.Slash{L: e, R: p.parseStepExpr()}
 		} else if p.tok.isSym("//") {
 			p.advance()
-			dos := &ast.Slash{L: e, R: &ast.AxisStep{Axis: ast.AxisDescendantOrSelf, Test: ast.NodeTest{Kind: ast.TestAnyKind}}}
-			e = &ast.Slash{L: dos, R: p.parseStepExpr()}
+			e = descendantPath(e, p.parseStepExpr())
 		} else {
 			return e
 		}
 	}
+}
+
+// descendantPath desugars E//step. A child-axis step whose predicates are
+// all provably non-positional fuses to E/descendant::T[preds] —
+// child-of-descendant-or-self is exactly descendant, and an EBV-only
+// predicate selects the same nodes under either axis numbering — so one
+// step over the whole subtree replaces a child step per descendant
+// context (also the shape the name-index probe answers from one window).
+// Everything else gets the standard E/descendant-or-self::node()/step.
+func descendantPath(e ast.Expr, step ast.Expr) ast.Expr {
+	if s, ok := step.(*ast.AxisStep); ok && s.Axis == ast.AxisChild && nonPositionalPreds(s.Preds) {
+		return &ast.Slash{L: e, R: &ast.AxisStep{Axis: ast.AxisDescendant, Test: s.Test, Preds: s.Preds}}
+	}
+	dos := &ast.Slash{L: e, R: &ast.AxisStep{Axis: ast.AxisDescendantOrSelf, Test: ast.NodeTest{Kind: ast.TestAnyKind}}}
+	return &ast.Slash{L: dos, R: step}
+}
+
+// nonPositionalPreds reports whether every predicate is statically
+// boolean-valued with no position()/last() reference anywhere inside, so
+// each can only ever act as an EBV filter. A numeric predicate value
+// selects by context position, and position numbering differs between the
+// child and descendant axes — such steps must not move. Conservative:
+// anything unrecognized blocks fusion.
+func nonPositionalPreds(preds []ast.Expr) bool {
+	for _, p := range preds {
+		if !booleanValued(p) || mentionsPosition(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// booleanValued recognizes expressions that always yield a boolean (or
+// empty) value, never a number.
+func booleanValued(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Binary:
+		return e.Op.IsComparison() || e.Op == ast.OpAnd || e.Op == ast.OpOr
+	case *ast.Quantified:
+		return true
+	case *ast.FuncCall:
+		switch e.Name {
+		case "not", "fn:not", "exists", "fn:exists", "empty", "fn:empty",
+			"boolean", "fn:boolean", "contains", "fn:contains",
+			"starts-with", "fn:starts-with":
+			return true
+		}
+	}
+	return false
+}
+
+// mentionsPosition reports whether e syntactically contains a
+// position() or last() call.
+func mentionsPosition(e ast.Expr) bool {
+	found := false
+	ast.Walk(e, func(x ast.Expr) bool {
+		if fc, ok := x.(*ast.FuncCall); ok {
+			switch fc.Name {
+			case "position", "fn:position", "last", "fn:last":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }
 
 // startsStep reports whether the current token can begin a path step.

@@ -108,12 +108,23 @@ func TestFLWORDesugaring(t *testing.T) {
 }
 
 func TestPathDesugaring(t *testing.T) {
-	// e1//e2 becomes e1/descendant-or-self::node()/e2
+	// A predicate-free e1//name fuses to e1/descendant::name.
 	e := parseOK(t, `$d//b`)
 	outer := e.(*ast.Slash)
 	step := outer.R.(*ast.AxisStep)
-	if step.Test.Name != "b" {
-		t.Fatalf("outer step wrong")
+	if step.Test.Name != "b" || step.Axis != ast.AxisDescendant {
+		t.Fatalf("predicate-free // not fused to descendant::: %+v", step)
+	}
+	if _, ok := outer.L.(*ast.VarRef); !ok {
+		t.Fatalf("fused // left operand wrong: %T", outer.L)
+	}
+	// A predicated step blocks fusion (child positions differ from
+	// descendant positions): e1//e2 becomes e1/descendant-or-self::node()/e2.
+	e = parseOK(t, `$d//b[1]`)
+	outer = e.(*ast.Slash)
+	step = outer.R.(*ast.AxisStep)
+	if step.Test.Name != "b" || step.Axis != ast.AxisChild || len(step.Preds) != 1 {
+		t.Fatalf("predicated // step wrong: %+v", step)
 	}
 	dos := outer.L.(*ast.Slash).R.(*ast.AxisStep)
 	if dos.Axis != ast.AxisDescendantOrSelf || dos.Test.Kind != ast.TestAnyKind {
